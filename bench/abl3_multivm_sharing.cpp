@@ -1,0 +1,130 @@
+// Ablation A3 — Xeon Phi sharing across VMs: the paper's headline
+// capability, quantified.
+//
+// N VMs concurrently issue RMA reads against one card. Each VM's backend
+// is an independent QEMU process / host SCIF client (exactly the paper's
+// sharing mechanism); the PCIe link arbitrates. Reported: per-VM and
+// aggregate throughput for N = 1, 2, 4, 8.
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/stats.hpp"
+
+namespace vphi::bench {
+namespace {
+
+constexpr std::size_t kChunk = 8ull << 20;
+constexpr int kRounds = 4;
+
+struct SharingResult {
+  double min_gbps = 0.0;
+  double max_gbps = 0.0;
+  double aggregate_gbps = 0.0;
+};
+
+SharingResult measure(std::uint32_t num_vms, scif::Port base_port) {
+  tools::TestbedConfig config;
+  config.num_vms = num_vms;
+  config.vm_ram_bytes = 64ull << 20;
+  config.card_backing_bytes = (kChunk + (1 << 20)) * num_vms + (64ull << 20);
+  tools::Testbed bed{config};
+
+  std::vector<std::unique_ptr<RmaWindowServer>> servers;
+  for (std::uint32_t i = 0; i < num_vms; ++i) {
+    servers.push_back(std::make_unique<RmaWindowServer>(
+        bed, static_cast<scif::Port>(base_port + i), kChunk));
+  }
+
+  std::vector<double> gbps(num_vms, 0.0);
+  std::vector<sim::Nanos> starts(num_vms, 0), ends(num_vms, 0);
+  std::vector<std::thread> clients;
+  for (std::uint32_t i = 0; i < num_vms; ++i) {
+    clients.emplace_back([&, i] {
+      sim::Actor actor{"vm-client" + std::to_string(i), sim::Actor::AtNow{}};
+      sim::ActorScope scope(actor);
+      auto& guest = bed.vm(i).guest_scif();
+      const int epd = connect_to_card(
+          bed, guest, static_cast<scif::Port>(base_port + i));
+      if (epd < 0) return;
+      std::uint8_t ready;
+      guest.recv(epd, &ready, 1, scif::SCIF_RECV_BLOCK);
+      auto buf = bed.vm(i).alloc_user_buffer(kChunk);
+      if (!buf) return;
+      auto reg = guest.register_mem(
+          epd, *buf, kChunk, 0,
+          scif::SCIF_PROT_READ | scif::SCIF_PROT_WRITE, 0);
+      if (!reg) return;
+      // Warm-up, then timed rounds bracketed by start/end stamps.
+      guest.readfrom(epd, *reg, kChunk, 0, scif::SCIF_RMA_SYNC);
+      starts[i] = actor.now();
+      for (int round = 0; round < kRounds; ++round) {
+        guest.readfrom(epd, *reg, kChunk, 0, scif::SCIF_RMA_SYNC);
+      }
+      ends[i] = actor.now();
+      gbps[i] = static_cast<double>(kChunk) * kRounds /
+                static_cast<double>(ends[i] - starts[i]);
+      std::uint8_t bye = 0;
+      guest.send(epd, &bye, 1, scif::SCIF_SEND_BLOCK);
+      guest.close(epd);
+    });
+  }
+  for (auto& c : clients) c.join();
+  servers.clear();
+
+  SharingResult result;
+  result.min_gbps = gbps[0];
+  sim::Nanos first_start = starts[0], last_end = ends[0];
+  for (std::uint32_t i = 0; i < num_vms; ++i) {
+    result.min_gbps = std::min(result.min_gbps, gbps[i]);
+    result.max_gbps = std::max(result.max_gbps, gbps[i]);
+    first_start = std::min(first_start, starts[i]);
+    last_end = std::max(last_end, ends[i]);
+  }
+  // Honest aggregate: all bytes moved over the union of the measurement
+  // windows (summing per-VM rates would overcount when windows drift).
+  if (last_end > first_start) {
+    result.aggregate_gbps = static_cast<double>(kChunk) * kRounds * num_vms /
+                            static_cast<double>(last_end - first_start);
+  }
+  return result;
+}
+
+void run() {
+  print_header(
+      "Ablation A3: multi-VM Xeon Phi sharing",
+      "multiple VMs = multiple host SCIF processes; the card and link "
+      "multiplex them (the capability no prior Xeon Phi solution offered)");
+
+  sim::FigureTable table{"A3 concurrent RMA read throughput (GB/s)", "vms"};
+  sim::Series per_min{"per_vm_min", {}, {}};
+  sim::Series per_max{"per_vm_max", {}, {}};
+  sim::Series aggregate{"aggregate", {}, {}};
+
+  scif::Port base = 3'400;
+  for (const std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    const auto r = measure(n, base);
+    base = static_cast<scif::Port>(base + n);
+    per_min.add(n, r.min_gbps);
+    per_max.add(n, r.max_gbps);
+    aggregate.add(n, r.aggregate_gbps);
+  }
+  table.add_series(per_min);
+  table.add_series(per_max);
+  table.add_series(aggregate);
+  table.print(std::cout);
+  std::printf(
+      "\n(8 MiB reads: one VM alone sees ~3.8 GB/s — the Fig. 5 vPHI curve\n"
+      " at this size; adding VMs holds the aggregate near the fragmented-\n"
+      " DMA link limit while the per-VM share drops roughly as 1/N)\n");
+}
+
+}  // namespace
+}  // namespace vphi::bench
+
+int main() {
+  vphi::bench::run();
+  return 0;
+}

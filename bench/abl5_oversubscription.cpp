@@ -1,0 +1,71 @@
+// Ablation A5 — uOS scheduler behaviour under thread oversubscription.
+//
+// Sec. III: "If there is an oversubscription considering requested threads
+// to physical cores ratio, then the resource multiplexing is accomplished
+// by the scheduler of the uOS which runs on a dedicated Xeon Phi core."
+// This bench sweeps the dgemm thread count across and beyond the card's
+// 224 hardware threads and reports modeled execution time plus an
+// end-to-end micnativeloadex cross-check at two points.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "sim/stats.hpp"
+#include "tools/micnativeloadex.hpp"
+#include "workloads/dgemm.hpp"
+
+namespace vphi::bench {
+namespace {
+
+constexpr std::size_t kN = 4'096;
+const std::uint32_t kThreads[] = {28, 56, 112, 224, 448, 896};
+
+void run() {
+  print_header(
+      "Ablation A5: uOS scheduler under thread oversubscription",
+      "56 usable cores x 4 hw threads = 224; beyond that the uOS "
+      "round-robins with a context-switch tax");
+
+  tools::Testbed bed{tools::TestbedConfig{}};
+  workloads::register_dgemm_kernel();
+  mic::uos::Scheduler& sched = bed.card().scheduler();
+
+  sim::FigureTable table{"A5 dgemm n=4096 on-card time vs threads", "threads"};
+  sim::Series exec_s{"modeled_exec_s", {}, {}};
+  sim::Series rate{"aggregate_GFLOPs", {}, {}};
+
+  for (const std::uint32_t t : kThreads) {
+    exec_s.add(t, sim::to_seconds(workloads::mic_dgemm_time(sched, kN, t)));
+    rate.add(t, sched.aggregate_flops_rate(t) / 1e9);
+  }
+  table.add_series(exec_s);
+  table.add_series(rate);
+  table.print(std::cout);
+
+  // End-to-end cross-check at full subscription and 2x oversubscription.
+  const auto image = workloads::make_dgemm_image(bed.model());
+  auto end_to_end = [&](std::uint32_t threads) {
+    sim::Actor actor{"loadex", sim::Actor::AtNow{}};
+    sim::ActorScope scope(actor);
+    tools::MicNativeLoadEx loadex{bed.host_provider()};
+    tools::LoadexOptions options;
+    options.threads = threads;
+    options.args = {std::to_string(kN)};
+    auto r = loadex.run(image, options);
+    return r ? sim::to_seconds(r->exec_ns) : 0.0;
+  };
+  const double t224 = end_to_end(224);
+  const double t448 = end_to_end(448);
+  std::printf("\nend-to-end exec (micnativeloadex): 224 thr = %.3f s, "
+              "448 thr = %.3f s (+%.1f%% oversubscription tax)\n",
+              t224, t448, 100.0 * (t448 - t224) / t224);
+}
+
+}  // namespace
+}  // namespace vphi::bench
+
+int main() {
+  vphi::bench::run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace vphi::bench {
+
+void print_header(const char* figure, const char* paper_claim) {
+  std::printf("# %s\n# paper: %s\n\n", figure, paper_claim);
+  std::fflush(stdout);
+}
+
+LatencySink::LatencySink(tools::Testbed& bed, scif::Port port,
+                         std::size_t frame)
+    : port_(port) {
+  auto& p = bed.card_provider();
+  auto lep = p.open();
+  if (!lep) return;
+  const int listener = *lep;
+  if (!p.bind(listener, port) || !sim::ok(p.listen(listener, 4))) return;
+  server_ = std::async(std::launch::async, [&p, listener, frame] {
+    sim::Actor actor{"latency-sink", sim::Actor::AtNow{}};
+    sim::ActorScope scope(actor);
+    auto conn = p.accept(listener, scif::SCIF_ACCEPT_SYNC);
+    if (!conn) return;
+    std::vector<std::uint8_t> buf(frame);
+    while (p.recv(conn->epd, buf.data(), frame, scif::SCIF_RECV_BLOCK)) {
+    }
+    p.close(conn->epd);
+    p.close(listener);
+  });
+}
+
+LatencySink::~LatencySink() {
+  if (server_.valid()) server_.wait();
+}
+
+int connect_to_card(tools::Testbed& bed, scif::Provider& client,
+                    scif::Port port) {
+  auto epd = client.open();
+  if (!epd) return -1;
+  if (!sim::ok(client.connect(*epd, scif::PortId{bed.card_node(), port}))) {
+    client.close(*epd);
+    return -1;
+  }
+  return *epd;
+}
+
+sim::Nanos measure_send_latency(scif::Provider& client, int epd,
+                                std::size_t size, int rounds) {
+  std::vector<std::uint8_t> buf(size, 0x42);
+  auto& actor = sim::this_actor();
+  // Warm-up round (synchronizes this timeline with the service loops).
+  if (!client.send(epd, buf.data(), size, scif::SCIF_SEND_BLOCK)) return 0;
+  const sim::Nanos before = actor.now();
+  for (int i = 0; i < rounds; ++i) {
+    if (!client.send(epd, buf.data(), size, scif::SCIF_SEND_BLOCK)) return 0;
+  }
+  return (actor.now() - before) / static_cast<sim::Nanos>(rounds);
+}
+
+RmaWindowServer::RmaWindowServer(tools::Testbed& bed, scif::Port port,
+                                 std::size_t bytes)
+    : port_(port) {
+  auto& p = bed.card_provider();
+  auto lep = p.open();
+  if (!lep) return;
+  const int listener = *lep;
+  if (!p.bind(listener, port) || !sim::ok(p.listen(listener, 4))) return;
+  server_ = std::async(std::launch::async, [&bed, &p, listener, bytes] {
+    sim::Actor actor{"rma-server", sim::Actor::AtNow{}};
+    sim::ActorScope scope(actor);
+    auto conn = p.accept(listener, scif::SCIF_ACCEPT_SYNC);
+    if (!conn) return;
+    auto dev = bed.card().memory().allocate(bytes);
+    if (!dev) return;
+    auto reg = p.register_mem(conn->epd, bed.card().memory().at(*dev), bytes,
+                              0, scif::SCIF_PROT_READ | scif::SCIF_PROT_WRITE,
+                              scif::SCIF_MAP_FIXED);
+    if (!reg) return;
+    // Signal readiness, then hold the window until the client hangs up.
+    std::uint8_t ready = 1;
+    p.send(conn->epd, &ready, 1, scif::SCIF_SEND_BLOCK);
+    std::uint8_t bye;
+    p.recv(conn->epd, &bye, 1, scif::SCIF_RECV_BLOCK);
+    p.close(conn->epd);
+    p.close(listener);
+    bed.card().memory().free(*dev);
+  });
+}
+
+RmaWindowServer::~RmaWindowServer() {
+  if (server_.valid()) server_.wait();
+}
+
+double measure_read_throughput(scif::Provider& client, int epd,
+                               scif::RegOffset local_off, std::size_t size,
+                               int rounds) {
+  auto& actor = sim::this_actor();
+  // Warm-up.
+  if (!sim::ok(client.readfrom(epd, local_off, size, 0, scif::SCIF_RMA_SYNC))) {
+    return 0.0;
+  }
+  const sim::Nanos before = actor.now();
+  for (int i = 0; i < rounds; ++i) {
+    if (!sim::ok(client.readfrom(epd, local_off, size, 0,
+                                 scif::SCIF_RMA_SYNC))) {
+      return 0.0;
+    }
+  }
+  const sim::Nanos elapsed = actor.now() - before;
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(size) * rounds / static_cast<double>(elapsed) *
+         1e9 / 1e9;  // bytes per simulated ns == GB/s
+}
+
+}  // namespace vphi::bench

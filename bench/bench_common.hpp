@@ -1,0 +1,71 @@
+// Shared rigs for the figure-reproduction benchmark binaries.
+//
+// Each bench binary prints the series the corresponding paper figure plots
+// (a sim::FigureTable), with simulated time as the measurement clock. The
+// micro benches additionally register google-benchmark entries (manual
+// time = simulated time) for familiar tooling.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "scif/provider.hpp"
+#include "scif/types.hpp"
+#include "sim/actor.hpp"
+#include "sim/stats.hpp"
+#include "tools/testbed.hpp"
+
+namespace vphi::bench {
+
+/// Print a standard header naming the reproduced figure and the paper claim
+/// the run should be compared against.
+void print_header(const char* figure, const char* paper_claim);
+
+/// Card-side echo-style sink for latency runs: accepts one connection and
+/// keeps consuming frames of exactly `frame` bytes until the peer closes.
+class LatencySink {
+ public:
+  LatencySink(tools::Testbed& bed, scif::Port port, std::size_t frame);
+  ~LatencySink();
+
+  scif::Port port() const noexcept { return port_; }
+
+ private:
+  scif::Port port_;
+  std::future<void> server_;
+};
+
+/// Connect `client` to a card service port; returns the connected epd.
+int connect_to_card(tools::Testbed& bed, scif::Provider& client,
+                    scif::Port port);
+
+/// Measured one-way latency (duration of a blocking send) of `size` bytes,
+/// averaged over `rounds`. The server must be a LatencySink of the same
+/// frame size.
+sim::Nanos measure_send_latency(scif::Provider& client, int epd,
+                                std::size_t size, int rounds);
+
+/// Card-side RMA window server: accepts one connection and registers a
+/// device-memory window of `bytes` at fixed offset 0.
+class RmaWindowServer {
+ public:
+  RmaWindowServer(tools::Testbed& bed, scif::Port port, std::size_t bytes);
+  ~RmaWindowServer();
+
+  scif::Port port() const noexcept { return port_; }
+
+ private:
+  scif::Port port_;
+  std::future<void> server_;
+};
+
+/// Remote-read throughput in bytes/simulated-second for `size`-byte reads.
+/// The client must already own a registered local window at `local_off`
+/// covering `size` bytes. Performs one warm-up read then `rounds` timed.
+double measure_read_throughput(scif::Provider& client, int epd,
+                               scif::RegOffset local_off, std::size_t size,
+                               int rounds);
+
+}  // namespace vphi::bench

@@ -1,0 +1,20 @@
+// Shared harness for Figures 6-8: launch + execution of dgemm through
+// micnativeloadex, host vs VM, sweeping the input size at a fixed thread
+// count (56/112/224 — 1/2/4 threads per usable KNC core).
+//
+// The paper plots normalized total execution time (launch of binaries via
+// micnativeloadex + on-card run) against the total size of the two input
+// arrays. The reproduction prints absolute simulated times for both paths
+// plus the vPHI/host normalization, whose decay toward 1.0 is the result
+// the paper reports ("the virtualization cost of vPHI is amortized").
+#pragma once
+
+#include <cstdint>
+
+namespace vphi::bench {
+
+/// Run the Fig. 6/7/8 sweep at `threads` and print the series.
+void run_dgemm_figure(std::uint32_t threads, const char* figure,
+                      const char* claim);
+
+}  // namespace vphi::bench

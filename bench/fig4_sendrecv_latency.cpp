@@ -1,0 +1,138 @@
+// Figure 4 — send-receive communication latency, host vs vPHI.
+//
+// Paper: a SCIF server on the card blocks in scif_recv; the client (on the
+// host, then inside a VM) sends messages of growing size. Native 1-byte
+// latency is 7 us; through vPHI it is 382 us (375 us of virtualization
+// overhead), and the offset stays constant as the size grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "sim/stats.hpp"
+
+namespace vphi::bench {
+namespace {
+
+constexpr scif::Port kHostPort = 2'100;
+constexpr scif::Port kVmPort = 2'101;
+constexpr int kRounds = 5;
+
+const std::size_t kSizes[] = {1,    16,    256,    1'024,
+                              4'096, 16'384, 65'536};
+
+struct Fig4Rig {
+  Fig4Rig() : bed(tools::TestbedConfig{}) {}
+  tools::Testbed bed;
+};
+
+Fig4Rig& rig() {
+  static Fig4Rig instance;
+  return instance;
+}
+
+/// One measured point: client latency of `size`-byte sends on `provider`.
+sim::Nanos point(scif::Provider& provider, scif::Port port,
+                 std::size_t size) {
+  LatencySink sink{rig().bed, port, size};
+  const int epd = connect_to_card(rig().bed, provider, port);
+  if (epd < 0) return 0;
+  const sim::Nanos lat = measure_send_latency(provider, epd, size, kRounds);
+  provider.close(epd);
+  return lat;
+}
+
+void print_figure() {
+  print_header("Figure 4: send-receive communication latency",
+               "host 7 us @1B; vPHI 382 us @1B; offset constant with size");
+  sim::FigureTable table{"fig4 send/recv latency (us)", "msg_bytes"};
+  sim::Series host{"host_us", {}, {}};
+  sim::Series vphi{"vphi_us", {}, {}};
+  sim::Series overhead{"overhead_us", {}, {}};
+
+  scif::Port next_port = kHostPort;
+  for (const std::size_t size : kSizes) {
+    sim::Actor host_actor{"host-client", sim::Actor::AtNow{}};
+    sim::Nanos host_lat;
+    {
+      sim::ActorScope scope(host_actor);
+      host_lat = point(rig().bed.host_provider(), next_port++, size);
+    }
+    sim::Actor vm_actor{"vm-client", sim::Actor::AtNow{}};
+    sim::Nanos vphi_lat;
+    {
+      sim::ActorScope scope(vm_actor);
+      vphi_lat = point(rig().bed.vm(0).guest_scif(), next_port++, size);
+    }
+    host.add(static_cast<double>(size), sim::to_micros(host_lat));
+    vphi.add(static_cast<double>(size), sim::to_micros(vphi_lat));
+    overhead.add(static_cast<double>(size),
+                 sim::to_micros(vphi_lat - host_lat));
+  }
+  table.add_series(host);
+  table.add_series(vphi);
+  table.add_series(overhead);
+  table.add_ratio_column(1, 0, "vphi/host");
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+// google-benchmark entries: manual time = simulated time.
+void BM_SendLatency_Host(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  static scif::Port port = 2'300;
+  LatencySink sink{rig().bed, port, size};
+  sim::Actor actor{"bm-host", sim::Actor::AtNow{}};
+  sim::ActorScope scope(actor);
+  const int epd = connect_to_card(rig().bed, rig().bed.host_provider(), port);
+  ++port;
+  for (auto _ : state) {
+    const sim::Nanos lat =
+        measure_send_latency(rig().bed.host_provider(), epd, size, 1);
+    state.SetIterationTime(sim::to_seconds(lat));
+  }
+  rig().bed.host_provider().close(epd);
+}
+
+void BM_SendLatency_Vphi(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  static scif::Port port = 2'400;
+  LatencySink sink{rig().bed, port, size};
+  sim::Actor actor{"bm-vm", sim::Actor::AtNow{}};
+  sim::ActorScope scope(actor);
+  auto& guest = rig().bed.vm(0).guest_scif();
+  const int epd = connect_to_card(rig().bed, guest, port);
+  ++port;
+  for (auto _ : state) {
+    const sim::Nanos lat = measure_send_latency(guest, epd, size, 1);
+    state.SetIterationTime(sim::to_seconds(lat));
+  }
+  guest.close(epd);
+}
+
+BENCHMARK(BM_SendLatency_Host)
+    ->Arg(1)
+    ->Arg(1'024)
+    ->Arg(65'536)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+BENCHMARK(BM_SendLatency_Vphi)
+    ->Arg(1)
+    ->Arg(1'024)
+    ->Arg(65'536)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace vphi::bench
+
+int main(int argc, char** argv) {
+  vphi::bench::print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

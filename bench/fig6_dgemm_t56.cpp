@@ -1,0 +1,11 @@
+// Figure 6 — launch and execution of dgemm using 56 threads (one software
+// thread per usable KNC core), host vs vPHI, input size swept.
+#include "dgemm_fig.hpp"
+
+int main() {
+  vphi::bench::run_dgemm_figure(
+      56, "Figure 6: dgemm total time, 56 threads",
+      "vPHI overhead visible at small sizes, amortized for large (seconds-"
+      "scale) runs");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 7 — launch and execution of dgemm using 112 threads (two software
+// threads per usable KNC core), host vs vPHI, input size swept.
+#include "dgemm_fig.hpp"
+
+int main() {
+  vphi::bench::run_dgemm_figure(
+      112, "Figure 7: dgemm total time, 112 threads",
+      "same shape as Fig. 6 at higher card throughput (2 threads/core "
+      "nearly doubles KNC issue rate)");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 8 — launch and execution of dgemm using 224 threads (four software
+// threads per usable KNC core — the card fully subscribed), host vs vPHI.
+#include "dgemm_fig.hpp"
+
+int main() {
+  vphi::bench::run_dgemm_figure(
+      224, "Figure 8: dgemm total time, 224 threads",
+      "fastest on-card execution; vPHI overhead negligible for large runs");
+  return 0;
+}

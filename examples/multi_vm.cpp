@@ -1,0 +1,117 @@
+// Xeon Phi sharing — the capability the paper contributes ("to our
+// knowledge, vPHI is the first approach that enables Xeon Phi sharing
+// between multiple VMs running on the same physical node").
+//
+// Three VMs concurrently pull data from one card with RMA reads. Each VM's
+// backend is its own QEMU process / host SCIF client, so the host driver
+// multiplexes them naturally; the shared PCIe link is the contended
+// resource, and the printed per-VM throughputs show the fair split.
+//
+//   ./build/examples/example_multi_vm [num_vms]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "scif/types.hpp"
+#include "sim/actor.hpp"
+#include "tools/testbed.hpp"
+
+using namespace vphi;        // NOLINT(google-build-using-namespace)
+using namespace vphi::scif;  // NOLINT(google-build-using-namespace)
+
+namespace {
+constexpr Port kBasePort = 1'800;
+constexpr std::size_t kChunk = 16ull << 20;
+constexpr int kRounds = 4;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t num_vms =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 3;
+  tools::TestbedConfig config;
+  config.num_vms = num_vms;
+  tools::Testbed bed{config};
+  std::printf("%u VMs sharing one %s\n\n", num_vms,
+              bed.card().sysfs().get("sku")->c_str());
+
+  // One card-side server per VM, each exporting a device-memory window.
+  std::vector<std::thread> servers;
+  for (std::uint32_t i = 0; i < num_vms; ++i) {
+    servers.emplace_back([&bed, i] {
+      sim::Actor actor{"card-srv" + std::to_string(i), sim::Actor::AtNow{}};
+      sim::ActorScope scope(actor);
+      auto& p = bed.card_provider();
+      auto lep = p.open();
+      if (!p.bind(*lep, static_cast<Port>(kBasePort + i)) ||
+          !sim::ok(p.listen(*lep, 1))) {
+        return;
+      }
+      auto conn = p.accept(*lep, SCIF_ACCEPT_SYNC);
+      if (!conn) return;
+      auto dev = bed.card().memory().allocate(kChunk);
+      if (!dev) return;
+      // SCIF_MAP_FIXED pins the window at offset 0 so clients can name it
+      // without an out-of-band exchange.
+      auto reg = p.register_mem(conn->epd, bed.card().memory().at(*dev),
+                                kChunk, 0, SCIF_PROT_READ, SCIF_MAP_FIXED);
+      if (!reg) return;
+      // Stay alive until the client hangs up.
+      char ack;
+      p.recv(conn->epd, &ack, 1, SCIF_RECV_BLOCK);
+    });
+  }
+
+  // One client thread per VM, all reading concurrently.
+  std::vector<double> gbps(num_vms);
+  std::vector<std::thread> clients;
+  for (std::uint32_t i = 0; i < num_vms; ++i) {
+    clients.emplace_back([&bed, &gbps, i] {
+      sim::Actor actor{"vm" + std::to_string(i) + "-app",
+                       sim::Actor::AtNow{}};
+      sim::ActorScope scope(actor);
+      auto& guest = bed.vm(i).guest_scif();
+      auto epd = guest.open();
+      if (!epd ||
+          !sim::ok(guest.connect(
+              *epd, PortId{bed.card_node(),
+                           static_cast<Port>(kBasePort + i)}))) {
+        return;
+      }
+      auto buf = bed.vm(i).alloc_user_buffer(kChunk);
+      auto reg = guest.register_mem(*epd, *buf, kChunk, 0,
+                                    SCIF_PROT_READ | SCIF_PROT_WRITE, 0);
+      if (!reg) return;
+
+      // Warm-up, then timed reads.
+      if (!sim::ok(guest.readfrom(*epd, *reg, 4'096, 0, SCIF_RMA_SYNC))) {
+        std::printf("vm%u warm-up read failed\n", i);
+        return;
+      }
+      const sim::Nanos before = actor.now();
+      for (int round = 0; round < kRounds; ++round) {
+        if (!sim::ok(guest.readfrom(*epd, *reg, kChunk, 0, SCIF_RMA_SYNC))) {
+          std::printf("vm%u read failed\n", i);
+          return;
+        }
+      }
+      const sim::Nanos elapsed = actor.now() - before;
+      gbps[i] = static_cast<double>(kChunk) * kRounds /
+                static_cast<double>(elapsed);
+      char bye = 0;
+      guest.send(*epd, &bye, 1, SCIF_SEND_BLOCK);
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (auto& s : servers) s.join();
+
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < num_vms; ++i) {
+    std::printf("vm%u RMA read throughput: %.2f GB/s\n", i, gbps[i]);
+    total += gbps[i];
+  }
+  std::printf("aggregate: %.2f GB/s (one VM alone reaches ~4.6 GB/s; the "
+              "PCIe link is the shared bottleneck)\n",
+              total);
+  return 0;
+}

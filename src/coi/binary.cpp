@@ -1,0 +1,27 @@
+#include "coi/binary.hpp"
+
+namespace vphi::coi {
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+void KernelRegistry::register_kernel(const std::string& name, KernelFn fn) {
+  std::lock_guard lock(mu_);
+  table_[name] = std::move(fn);
+}
+
+sim::Expected<KernelFn> KernelRegistry::lookup(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = table_.find(name);
+  if (it == table_.end()) return sim::Status::kNoSuchEntry;
+  return it->second;
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return table_.count(name) > 0;
+}
+
+}  // namespace vphi::coi

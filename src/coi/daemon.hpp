@@ -1,0 +1,72 @@
+// coi_daemon — the card-resident service that receives offload requests.
+//
+// On a real card the MPSS init scripts start coi_daemon after the uOS
+// boots; it listens on a well-known SCIF port, receives binaries and
+// run-function requests from host-side COI clients, and manages card
+// processes. Our daemon does the same against the simulated card: it
+// charges streaming time for the binary bytes, exec/loader cost, spawns
+// the requested number of uOS threads (modeled), and runs the binary's
+// entry kernel from the KernelRegistry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "coi/binary.hpp"
+#include "coi/wire.hpp"
+#include "mic/card.hpp"
+#include "scif/host_provider.hpp"
+
+namespace vphi::coi {
+
+class Daemon {
+ public:
+  Daemon(scif::Fabric& fabric, mic::Card& card, scif::NodeId card_node);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Begin accepting connections. Idempotent.
+  sim::Status start();
+  void stop();
+
+  std::uint64_t processes_created() const;
+  std::uint64_t functions_run() const;
+
+ private:
+  struct CardProcess {
+    std::uint64_t pid = 0;
+    BinaryImage image;
+    std::uint32_t nthreads = 1;
+    std::vector<std::string> args;
+    std::vector<std::uint64_t> buffers;  ///< device-memory offsets owned
+  };
+
+  void accept_loop();
+  void serve_connection(int epd);
+  /// Run `image.entry_kernel` as the process main; returns exit code.
+  int run_kernel(CardProcess& proc, sim::Actor& actor, std::string& output);
+
+  scif::Fabric* fabric_;
+  mic::Card* card_;
+  scif::NodeId card_node_;
+  std::unique_ptr<scif::HostProvider> provider_;
+  int listener_epd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+
+  mutable std::mutex stats_mu_;
+  std::uint64_t next_pid_ = 1;
+  std::uint64_t processes_created_ = 0;
+  std::uint64_t functions_run_ = 0;
+};
+
+}  // namespace vphi::coi

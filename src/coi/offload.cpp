@@ -1,0 +1,74 @@
+#include "coi/offload.hpp"
+
+namespace vphi::coi::offload {
+
+sim::Expected<OffloadRegion> OffloadRegion::attach(scif::Provider& provider,
+                                                   scif::NodeId card_node,
+                                                   std::uint32_t threads) {
+  BinaryImage image;
+  image.name = "offload_main.mic";
+  image.bytes = 8ull << 20;                       // the card-side shadow
+  image.libraries = {{"liboffload.so", 24ull << 20}};
+  image.entry_kernel = "noop";  // the shadow idles; regions run as functions
+  auto process = Process::create(provider, card_node, image, threads, {});
+  if (!process) return process.status();
+  return OffloadRegion{std::move(*process)};
+}
+
+sim::Expected<FunctionResult> OffloadRegion::run(
+    const std::string& kernel, std::vector<Clause> clauses,
+    std::vector<std::string> extra_args) {
+  // Allocate card buffers and stage `in`/`inout` data.
+  std::vector<std::uint64_t> handles;
+  handles.reserve(clauses.size());
+  auto cleanup = [&] {
+    for (const auto handle : handles) process_.free_buffer(handle);
+  };
+
+  for (const auto& clause : clauses) {
+    auto handle = process_.alloc_buffer(clause.len);
+    if (!handle) {
+      cleanup();
+      return handle.status();
+    }
+    handles.push_back(*handle);
+    if (clause.dir != Clause::Dir::kOut) {
+      const auto wrote =
+          process_.write_buffer(*handle, clause.host_ptr, clause.len);
+      if (!sim::ok(wrote)) {
+        cleanup();
+        return wrote;
+      }
+    }
+  }
+
+  // Kernel args: "<offset> <len>" per clause, then the user's args.
+  std::vector<std::string> args;
+  args.reserve(clauses.size() * 2 + extra_args.size());
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    args.push_back(std::to_string(handles[i]));
+    args.push_back(std::to_string(clauses[i].len));
+  }
+  for (auto& a : extra_args) args.push_back(std::move(a));
+
+  auto result = process_.run_function(kernel, args);
+  if (!result) {
+    cleanup();
+    return result.status();
+  }
+
+  // Copy back `out`/`inout` data.
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (clauses[i].dir == Clause::Dir::kIn) continue;
+    const auto read =
+        process_.read_buffer(handles[i], clauses[i].host_ptr, clauses[i].len);
+    if (!sim::ok(read)) {
+      cleanup();
+      return read;
+    }
+  }
+  cleanup();
+  return result;
+}
+
+}  // namespace vphi::coi::offload

@@ -1,0 +1,238 @@
+#include "coi/process.hpp"
+
+#include <algorithm>
+
+#include "coi/daemon.hpp"
+#include "mic/sysfs.hpp"
+#include "scif/types.hpp"
+
+namespace vphi::coi {
+
+namespace {
+/// Streaming chunk: what one scif_send of binary bytes carries. Matches
+/// the kmalloc cap so the vPHI path chunks identically.
+constexpr std::uint64_t kStreamChunk = 4ull << 20;
+}  // namespace
+
+sim::Expected<std::vector<EngineInfo>> enumerate_engines(scif::Provider& p) {
+  auto ids = p.get_node_ids();
+  if (!ids) return ids.status();
+  std::vector<EngineInfo> engines;
+  // Cards are nodes 1..N; probe each card's sysfs identity.
+  for (std::uint32_t index = 0;; ++index) {
+    auto info = p.card_info(index);
+    if (!info) break;
+    EngineInfo engine;
+    engine.index = index;
+    engine.node = static_cast<scif::NodeId>(index + 1);
+    engine.family = info->get("family").value_or("");
+    engine.sku = info->get("sku").value_or("");
+    engines.push_back(std::move(engine));
+  }
+  return engines;
+}
+
+Process::~Process() { destroy(); }
+
+Process::Process(Process&& other) noexcept
+    : provider_(other.provider_), epd_(other.epd_), pid_(other.pid_) {
+  other.provider_ = nullptr;
+  other.epd_ = -1;
+}
+
+Process& Process::operator=(Process&& other) noexcept {
+  if (this != &other) {
+    destroy();
+    provider_ = other.provider_;
+    epd_ = other.epd_;
+    pid_ = other.pid_;
+    other.provider_ = nullptr;
+    other.epd_ = -1;
+  }
+  return *this;
+}
+
+sim::Expected<Process> Process::create(scif::Provider& p,
+                                       scif::NodeId card_node,
+                                       const BinaryImage& image,
+                                       std::uint32_t nthreads,
+                                       std::vector<std::string> args) {
+  auto epd = p.open();
+  if (!epd) return epd.status();
+  const auto connected =
+      p.connect(*epd, scif::PortId{card_node, kDaemonPort});
+  if (!sim::ok(connected)) {
+    p.close(*epd);
+    return connected;
+  }
+
+  // Metadata first.
+  Encoder meta;
+  meta.put_string(image.name);
+  meta.put_u64(image.bytes);
+  meta.put_u32(static_cast<std::uint32_t>(image.libraries.size()));
+  for (const auto& lib : image.libraries) {
+    meta.put_string(lib.name);
+    meta.put_u64(lib.bytes);
+  }
+  meta.put_string(image.entry_kernel);
+  meta.put_u32(nthreads);
+  meta.put_strings(args);
+  auto sent = send_msg(p, *epd, MsgType::kCreateProcess, meta);
+  if (!sim::ok(sent)) {
+    p.close(*epd);
+    return sent;
+  }
+
+  // Stream the executable + libraries. The bytes are synthetic (a filled
+  // buffer reused per chunk) but every byte really crosses the SCIF stream,
+  // so the launch phase of Figs. 6-8 gets its full PCIe cost.
+  std::vector<std::uint8_t> chunk(static_cast<std::size_t>(
+      std::min<std::uint64_t>(kStreamChunk, image.total_bytes())));
+  std::fill(chunk.begin(), chunk.end(), std::uint8_t{0x7F});  // "ELF"-ish
+  std::uint64_t remaining = image.total_bytes();
+  std::vector<std::uint8_t> payload;
+  while (remaining > 0) {
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, kStreamChunk));
+    MsgHeader header{MsgType::kBinaryChunk, static_cast<std::uint32_t>(n)};
+    auto s = p.send(*epd, &header, sizeof(header), scif::SCIF_SEND_BLOCK);
+    if (!s) {
+      p.close(*epd);
+      return s.status();
+    }
+    s = p.send(*epd, chunk.data(), n, scif::SCIF_SEND_BLOCK);
+    if (!s) {
+      p.close(*epd);
+      return s.status();
+    }
+    remaining -= n;
+  }
+
+  // Daemon acks with the pid once the loader is done.
+  auto started = recv_msg(p, *epd, payload);
+  if (!started) {
+    p.close(*epd);
+    return started.status();
+  }
+  if (started->type != MsgType::kProcessStarted) {
+    p.close(*epd);
+    return sim::Status::kConnectionReset;
+  }
+  Decoder dec{payload.data(), payload.size()};
+  auto pid = dec.u64();
+  if (!pid) {
+    p.close(*epd);
+    return pid.status();
+  }
+  return Process{&p, *epd, *pid};
+}
+
+sim::Expected<std::uint64_t> Process::alloc_buffer(std::uint64_t size) {
+  if (!valid()) return sim::Status::kBadDescriptor;
+  Encoder e;
+  e.put_u64(size);
+  auto sent = send_msg(*provider_, epd_, MsgType::kAllocBuffer, e);
+  if (!sim::ok(sent)) return sent;
+  std::vector<std::uint8_t> payload;
+  auto reply = recv_msg(*provider_, epd_, payload);
+  if (!reply) return reply.status();
+  if (reply->type != MsgType::kBufferHandle) return sim::Status::kNoMemory;
+  Decoder dec{payload.data(), payload.size()};
+  return dec.u64();
+}
+
+sim::Status Process::free_buffer(std::uint64_t handle) {
+  if (!valid()) return sim::Status::kBadDescriptor;
+  Encoder e;
+  e.put_u64(handle);
+  auto sent = send_msg(*provider_, epd_, MsgType::kFreeBuffer, e);
+  if (!sim::ok(sent)) return sent;
+  std::vector<std::uint8_t> payload;
+  auto reply = recv_msg(*provider_, epd_, payload);
+  if (!reply) return reply.status();
+  return reply->type == MsgType::kAck ? sim::Status::kOk
+                                      : sim::Status::kInvalidArgument;
+}
+
+sim::Status Process::write_buffer(std::uint64_t handle, const void* src,
+                                  std::uint64_t len) {
+  if (!valid()) return sim::Status::kBadDescriptor;
+  Encoder e;
+  e.put_u64(handle);
+  e.put_u64(len);
+  auto sent = send_msg(*provider_, epd_, MsgType::kWriteBuffer, e);
+  if (!sim::ok(sent)) return sent;
+  auto pushed = provider_->send(epd_, src, len, scif::SCIF_SEND_BLOCK);
+  if (!pushed) return pushed.status();
+  std::vector<std::uint8_t> payload;
+  auto reply = recv_msg(*provider_, epd_, payload);
+  if (!reply) return reply.status();
+  return reply->type == MsgType::kAck ? sim::Status::kOk
+                                      : sim::Status::kBadAddress;
+}
+
+sim::Status Process::read_buffer(std::uint64_t handle, void* dst,
+                                 std::uint64_t len) {
+  if (!valid()) return sim::Status::kBadDescriptor;
+  Encoder e;
+  e.put_u64(handle);
+  e.put_u64(len);
+  auto sent = send_msg(*provider_, epd_, MsgType::kReadBuffer, e);
+  if (!sim::ok(sent)) return sent;
+  std::vector<std::uint8_t> payload;
+  auto reply = recv_msg(*provider_, epd_, payload);
+  if (!reply) return reply.status();
+  if (reply->type != MsgType::kBufferData) return sim::Status::kBadAddress;
+  auto got = provider_->recv(epd_, dst, len, scif::SCIF_RECV_BLOCK);
+  if (!got) return got.status();
+  return *got == len ? sim::Status::kOk : sim::Status::kConnectionReset;
+}
+
+sim::Expected<FunctionResult> Process::run_function(
+    const std::string& kernel, const std::vector<std::string>& args) {
+  if (!valid()) return sim::Status::kBadDescriptor;
+  Encoder e;
+  e.put_string(kernel);
+  e.put_strings(args);
+  auto sent = send_msg(*provider_, epd_, MsgType::kRunFunction, e);
+  if (!sim::ok(sent)) return sent;
+  std::vector<std::uint8_t> payload;
+  auto reply = recv_msg(*provider_, epd_, payload);
+  if (!reply) return reply.status();
+  if (reply->type != MsgType::kFunctionResult) {
+    return sim::Status::kConnectionReset;
+  }
+  Decoder dec{payload.data(), payload.size()};
+  auto code = dec.i64();
+  auto output = dec.string();
+  if (!code || !output) return sim::Status::kConnectionReset;
+  return FunctionResult{static_cast<int>(*code), std::move(*output)};
+}
+
+sim::Expected<FunctionResult> Process::wait_for_shutdown() {
+  if (!valid()) return sim::Status::kBadDescriptor;
+  auto sent = send_msg(*provider_, epd_, MsgType::kShutdownProcess, Encoder{});
+  if (!sim::ok(sent)) return sent;
+  std::vector<std::uint8_t> payload;
+  auto reply = recv_msg(*provider_, epd_, payload);
+  if (!reply) return reply.status();
+  if (reply->type != MsgType::kProcessExited) {
+    return sim::Status::kConnectionReset;
+  }
+  Decoder dec{payload.data(), payload.size()};
+  auto code = dec.i64();
+  auto output = dec.string();
+  if (!code || !output) return sim::Status::kConnectionReset;
+  return FunctionResult{static_cast<int>(*code), std::move(*output)};
+}
+
+sim::Status Process::destroy() {
+  if (!valid()) return sim::Status::kOk;
+  const auto closed = provider_->close(epd_);
+  epd_ = -1;
+  provider_ = nullptr;
+  return closed;
+}
+
+}  // namespace vphi::coi

@@ -1,0 +1,93 @@
+// Client-side COI: engines, processes, buffers, run-function pipeline.
+//
+// This is the subset of Intel's COI surface that micnativeloadex and the
+// offload runtimes sit on: enumerate engines (cards), create a card process
+// from a binary image (streaming the executable and its libraries over
+// SCIF), allocate card buffers, enqueue function invocations, and wait for
+// process shutdown.
+//
+// Everything goes through a scif::Provider — hand it a HostProvider and
+// this is the native MPSS path; hand it a GuestScifProvider and the same
+// code offloads from inside a VM through vPHI. No other changes: that is
+// the compatibility property the paper claims for layers above SCIF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coi/binary.hpp"
+#include "coi/wire.hpp"
+#include "scif/provider.hpp"
+
+namespace vphi::coi {
+
+/// One offload target (COIEngine).
+struct EngineInfo {
+  std::uint32_t index = 0;
+  scif::NodeId node = 0;
+  std::string family;  ///< "Knights Corner"
+  std::string sku;     ///< "3120P"
+};
+
+/// COIEngineGetCount / COIEngineGetHandle.
+sim::Expected<std::vector<EngineInfo>> enumerate_engines(scif::Provider& p);
+
+struct FunctionResult {
+  int exit_code = 0;
+  std::string output;
+};
+
+class Process {
+ public:
+  Process() = default;
+  ~Process();
+
+  Process(Process&&) noexcept;
+  Process& operator=(Process&&) noexcept;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// COIProcessCreateFromFile: connect to the card's coi_daemon, ship the
+  /// binary image (metadata + streamed bytes, chunked), and exec it.
+  /// `nthreads` seeds the card-side OpenMP/pthread pool.
+  static sim::Expected<Process> create(scif::Provider& p,
+                                       scif::NodeId card_node,
+                                       const BinaryImage& image,
+                                       std::uint32_t nthreads,
+                                       std::vector<std::string> args);
+
+  bool valid() const noexcept { return epd_ >= 0; }
+  std::uint64_t pid() const noexcept { return pid_; }
+
+  /// COIBufferCreate: card-memory buffer; returns its device offset.
+  sim::Expected<std::uint64_t> alloc_buffer(std::uint64_t size);
+  sim::Status free_buffer(std::uint64_t handle);
+
+  /// COIBufferWrite / COIBufferRead: move data between a host pointer and
+  /// a card buffer over the SCIF stream.
+  sim::Status write_buffer(std::uint64_t handle, const void* src,
+                           std::uint64_t len);
+  sim::Status read_buffer(std::uint64_t handle, void* dst, std::uint64_t len);
+
+  /// COIPipelineRunFunction (synchronous): run `kernel` in the card
+  /// process with string args.
+  sim::Expected<FunctionResult> run_function(
+      const std::string& kernel, const std::vector<std::string>& args);
+
+  /// Native mode: run the image's entry kernel as main() and exit —
+  /// COIProcessWaitForShutdown.
+  sim::Expected<FunctionResult> wait_for_shutdown();
+
+  sim::Status destroy();
+
+ private:
+  Process(scif::Provider* p, int epd, std::uint64_t pid)
+      : provider_(p), epd_(epd), pid_(pid) {}
+
+  scif::Provider* provider_ = nullptr;
+  int epd_ = -1;
+  std::uint64_t pid_ = 0;
+};
+
+}  // namespace vphi::coi

@@ -1,0 +1,37 @@
+#include "coi/wire.hpp"
+
+#include "scif/types.hpp"
+
+namespace vphi::coi {
+
+sim::Status send_msg(scif::Provider& p, int epd, MsgType type,
+                     const Encoder& payload) {
+  MsgHeader header{type,
+                   static_cast<std::uint32_t>(payload.bytes().size())};
+  auto sent = p.send(epd, &header, sizeof(header), scif::SCIF_SEND_BLOCK);
+  if (!sent) return sent.status();
+  if (header.payload_len > 0) {
+    sent = p.send(epd, payload.bytes().data(), header.payload_len,
+                  scif::SCIF_SEND_BLOCK);
+    if (!sent) return sent.status();
+  }
+  return sim::Status::kOk;
+}
+
+sim::Expected<MsgHeader> recv_msg(scif::Provider& p, int epd,
+                                  std::vector<std::uint8_t>& payload_out) {
+  MsgHeader header;
+  auto got = p.recv(epd, &header, sizeof(header), scif::SCIF_RECV_BLOCK);
+  if (!got) return got.status();
+  if (*got != sizeof(header)) return sim::Status::kConnectionReset;
+  payload_out.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    got = p.recv(epd, payload_out.data(), header.payload_len,
+                 scif::SCIF_RECV_BLOCK);
+    if (!got) return got.status();
+    if (*got != header.payload_len) return sim::Status::kConnectionReset;
+  }
+  return header;
+}
+
+}  // namespace vphi::coi

@@ -1,0 +1,134 @@
+// Framed message wire format for the COI client <-> coi_daemon protocol.
+//
+// COI rides on SCIF send/recv (the paper's Fig. 1): every message is a
+// fixed header (type + payload length) followed by a serialized payload.
+// The encoding is a simple length-prefixed scheme — enough to carry the
+// process-create / run-function / buffer RPCs the daemon speaks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scif/provider.hpp"
+#include "sim/status.hpp"
+
+namespace vphi::coi {
+
+/// The well-known SCIF port coi_daemon listens on.
+inline constexpr scif::Port kDaemonPort = 300;
+
+enum class MsgType : std::uint32_t {
+  kCreateProcess = 1,  ///< binary metadata; payload streaming follows
+  kBinaryChunk,        ///< one chunk of binary/library bytes
+  kProcessStarted,     ///< daemon -> client: pid
+  kRunFunction,        ///< enqueue a kernel invocation
+  kFunctionResult,     ///< daemon -> client: exit code + output
+  kAllocBuffer,        ///< client -> daemon: size
+  kBufferHandle,       ///< daemon -> client: handle + registered offset
+  kFreeBuffer,
+  kWriteBuffer,        ///< client -> daemon: offset + len, then raw bytes
+  kReadBuffer,         ///< client -> daemon: offset + len; reply kBufferData
+  kBufferData,         ///< daemon -> client: raw buffer contents follow
+  kShutdownProcess,    ///< client -> daemon: run main, return, exit
+  kProcessExited,      ///< daemon -> client: exit code + output
+  kError,              ///< daemon -> client: status
+  kAck,
+};
+
+struct MsgHeader {
+  MsgType type = MsgType::kAck;
+  std::uint32_t payload_len = 0;
+};
+static_assert(sizeof(MsgHeader) == 8);
+
+/// Append-only byte encoder.
+class Encoder {
+ public:
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_i64(std::int64_t v) { put_raw(&v, sizeof(v)); }
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    put_raw(s.data(), s.size());
+  }
+  void put_strings(const std::vector<std::string>& v) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto& s : v) put_string(s);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+
+ private:
+  void put_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked byte decoder.
+class Decoder {
+ public:
+  Decoder(const void* data, std::size_t len)
+      : data_(static_cast<const std::uint8_t*>(data)), len_(len) {}
+
+  sim::Expected<std::uint32_t> u32() {
+    std::uint32_t v;
+    if (!take(&v, sizeof(v))) return sim::Status::kOutOfRange;
+    return v;
+  }
+  sim::Expected<std::uint64_t> u64() {
+    std::uint64_t v;
+    if (!take(&v, sizeof(v))) return sim::Status::kOutOfRange;
+    return v;
+  }
+  sim::Expected<std::int64_t> i64() {
+    std::int64_t v;
+    if (!take(&v, sizeof(v))) return sim::Status::kOutOfRange;
+    return v;
+  }
+  sim::Expected<std::string> string() {
+    auto n = u32();
+    if (!n) return n.status();
+    if (pos_ + *n > len_) return sim::Status::kOutOfRange;
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), *n);
+    pos_ += *n;
+    return s;
+  }
+  sim::Expected<std::vector<std::string>> strings() {
+    auto n = u32();
+    if (!n) return n.status();
+    std::vector<std::string> out;
+    out.reserve(*n);
+    for (std::uint32_t i = 0; i < *n; ++i) {
+      auto s = string();
+      if (!s) return s.status();
+      out.push_back(std::move(*s));
+    }
+    return out;
+  }
+  std::size_t remaining() const noexcept { return len_ - pos_; }
+
+ private:
+  bool take(void* dst, std::size_t n) {
+    if (pos_ + n > len_) return false;
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// Send one framed message over a connected SCIF endpoint.
+sim::Status send_msg(scif::Provider& p, int epd, MsgType type,
+                     const Encoder& payload);
+/// Receive one framed message (blocking). Returns the header; payload is
+/// appended to `payload_out`.
+sim::Expected<MsgHeader> recv_msg(scif::Provider& p, int epd,
+                                  std::vector<std::uint8_t>& payload_out);
+
+}  // namespace vphi::coi

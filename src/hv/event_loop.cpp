@@ -1,0 +1,101 @@
+#include "hv/event_loop.hpp"
+
+namespace vphi::hv {
+
+EventLoop::EventLoop(std::string name)
+    : name_(std::move(name)),
+      loop_actor_(name_ + "-loop"),
+      loop_thread_([this] { loop_main(); }) {}
+
+EventLoop::~EventLoop() {
+  stop();
+  join_workers();
+}
+
+void EventLoop::loop_main() {
+  sim::ActorScope scope(loop_actor_);
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return !pending_.empty() || stopping_; });
+    if (pending_.empty() && stopping_) return;
+    Handler handler = std::move(pending_.front());
+    pending_.pop_front();
+    idle_ = false;
+    lock.unlock();
+
+    const sim::Nanos before = loop_actor_.now();
+    handler(loop_actor_);
+    const sim::Nanos held = loop_actor_.now() - before;
+
+    lock.lock();
+    blocked_time_ += held;
+    ++handled_;
+    idle_ = pending_.empty();
+    if (idle_) idle_cv_.notify_all();
+  }
+}
+
+void EventLoop::post(Handler handler) {
+  {
+    std::lock_guard lock(mu_);
+    pending_.push_back(std::move(handler));
+    idle_ = false;
+  }
+  cv_.notify_one();
+}
+
+void EventLoop::run_in_worker(Handler handler, sim::Nanos start_ts) {
+  std::lock_guard lock(mu_);
+  ++workers_spawned_;
+  workers_.emplace_back(
+      [this, handler = std::move(handler), start_ts] {
+        sim::Actor worker_actor{name_ + "-worker", start_ts};
+        sim::ActorScope scope(worker_actor);
+        handler(worker_actor);
+      });
+}
+
+void EventLoop::drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return idle_ && pending_.empty(); });
+}
+
+void EventLoop::join_workers() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      // Already stopped; just make sure the thread is joined.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+sim::Nanos EventLoop::blocked_time() const {
+  std::lock_guard lock(mu_);
+  return blocked_time_;
+}
+
+std::uint64_t EventLoop::handled() const {
+  std::lock_guard lock(mu_);
+  return handled_;
+}
+
+std::uint64_t EventLoop::workers_spawned() const {
+  std::lock_guard lock(mu_);
+  return workers_spawned_;
+}
+
+}  // namespace vphi::hv

@@ -1,0 +1,184 @@
+#include "hv/guest_kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vphi::hv {
+
+// --- WaitQueue ---------------------------------------------------------------
+
+std::uint64_t WaitQueue::prepare() {
+  std::lock_guard lock(mu_);
+  const std::uint64_t ticket = next_ticket_++;
+  sleeping_.insert(ticket);
+  return ticket;
+}
+
+sim::Status WaitQueue::wait(std::uint64_t ticket, sim::Actor& actor) {
+  std::unique_lock lock(mu_);
+  std::uint64_t seen_generation = wake_generation_;
+  std::uint64_t my_spurious = 0;
+  for (;;) {
+    if (shutdown_) {
+      sleeping_.erase(ticket);
+      return sim::Status::kShutDown;
+    }
+    auto it = completed_.find(ticket);
+    if (it != completed_.end()) {
+      const Completion c = it->second;
+      completed_.erase(it);
+      sleeping_.erase(ticket);
+      lock.unlock();
+      // The waiting scheme: ISR entry + wake_up_all + scheduler-in of this
+      // waiter, plus the ring-check churn of every other sleeper our
+      // interrupt woke, plus our own spurious wakeups from other requests'
+      // interrupts while we slept.
+      const auto& m = *model_;
+      const std::uint64_t extra =
+          c.sleepers_at_irq > 0 ? c.sleepers_at_irq - 1 : 0;
+      actor.sync_to(c.irq_ts);
+      actor.advance(m.guest_irq_handler_ns + m.guest_wakeup_scheme_ns +
+                    extra * m.wakeup_per_extra_sleeper_ns +
+                    my_spurious * m.wakeup_per_extra_sleeper_ns);
+      return sim::Status::kOk;
+    }
+    // Sleep until any wake event; count generations we woke for in vain.
+    ++blocked_;
+    cv_.wait(lock, [&] {
+      return shutdown_ || wake_generation_ != seen_generation ||
+             completed_.count(ticket) != 0;
+    });
+    --blocked_;
+    if (wake_generation_ != seen_generation &&
+        completed_.count(ticket) == 0 && !shutdown_) {
+      ++my_spurious;
+      ++spurious_;
+    }
+    seen_generation = wake_generation_;
+  }
+}
+
+void WaitQueue::complete(std::uint64_t ticket, sim::Nanos irq_ts) {
+  {
+    std::lock_guard lock(mu_);
+    completed_[ticket] = Completion{irq_ts, sleeping_.size()};
+    ++wake_generation_;
+  }
+  cv_.notify_all();  // wake_up_all: every sleeper checks the ring
+}
+
+void WaitQueue::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t WaitQueue::sleepers() const {
+  std::lock_guard lock(mu_);
+  return sleeping_.size();
+}
+
+std::size_t WaitQueue::blocked_waiters() const {
+  std::lock_guard lock(mu_);
+  return blocked_;
+}
+
+std::uint64_t WaitQueue::spurious_wakeups() const {
+  std::lock_guard lock(mu_);
+  return spurious_;
+}
+
+// --- VmaTable ---------------------------------------------------------------
+
+sim::Status VmaTable::add(const Vma& vma) {
+  if (vma.len == 0) return sim::Status::kInvalidArgument;
+  std::lock_guard lock(mu_);
+  const std::uint64_t end = vma.gva_start + vma.len;
+  auto it = vmas_.lower_bound(vma.gva_start);
+  if (it != vmas_.end() && it->first < end) return sim::Status::kAlreadyExists;
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.gva_start + prev->second.len > vma.gva_start) {
+      return sim::Status::kAlreadyExists;
+    }
+  }
+  vmas_[vma.gva_start] = vma;
+  return sim::Status::kOk;
+}
+
+sim::Status VmaTable::remove(std::uint64_t gva_start) {
+  std::lock_guard lock(mu_);
+  return vmas_.erase(gva_start) > 0 ? sim::Status::kOk
+                                    : sim::Status::kNoSuchEntry;
+}
+
+const Vma* VmaTable::find(std::uint64_t gva) const {
+  std::lock_guard lock(mu_);
+  auto it = vmas_.upper_bound(gva);
+  if (it == vmas_.begin()) return nullptr;
+  --it;
+  const Vma& v = it->second;
+  return gva < v.gva_start + v.len ? &v : nullptr;
+}
+
+std::size_t VmaTable::count() const {
+  std::lock_guard lock(mu_);
+  return vmas_.size();
+}
+
+// --- GuestKernel ---------------------------------------------------------------
+
+sim::Status GuestKernel::pin_pages(sim::Actor& actor, std::uint64_t gpa,
+                                   std::uint64_t len) {
+  if (len == 0) return sim::Status::kInvalidArgument;
+  if (ram_->translate(gpa, len) == nullptr) return sim::Status::kBadAddress;
+  const std::uint64_t pages =
+      (len + GuestPhysMem::kPageSize - 1) / GuestPhysMem::kPageSize;
+  actor.advance(pages * model_->pin_per_page_ns);
+  std::lock_guard lock(pin_mu_);
+  pinned_[gpa] = std::max(pinned_[gpa], len);
+  return sim::Status::kOk;
+}
+
+sim::Status GuestKernel::unpin_pages(std::uint64_t gpa, std::uint64_t len) {
+  std::lock_guard lock(pin_mu_);
+  auto it = pinned_.find(gpa);
+  if (it == pinned_.end() || it->second != len) {
+    return sim::Status::kInvalidArgument;
+  }
+  pinned_.erase(it);
+  return sim::Status::kOk;
+}
+
+bool GuestKernel::is_pinned(std::uint64_t gpa, std::uint64_t len) const {
+  std::lock_guard lock(pin_mu_);
+  auto it = pinned_.upper_bound(gpa);
+  if (it == pinned_.begin()) return false;
+  --it;
+  return gpa >= it->first && gpa + len <= it->first + it->second;
+}
+
+std::uint64_t GuestKernel::pinned_bytes() const {
+  std::lock_guard lock(pin_mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, len] : pinned_) total += len;
+  return total;
+}
+
+void GuestKernel::copy_from_user(sim::Actor& actor, void* dst, const void* src,
+                                 std::uint64_t len) {
+  actor.advance(model_->copy_setup_ns +
+                sim::transfer_time(len, model_->guest_memcpy_Bps));
+  if (len > 0) std::memcpy(dst, src, len);
+}
+
+void GuestKernel::copy_to_user(sim::Actor& actor, void* dst, const void* src,
+                               std::uint64_t len) {
+  actor.advance(model_->copy_setup_ns +
+                sim::transfer_time(len, model_->guest_memcpy_Bps));
+  if (len > 0) std::memcpy(dst, src, len);
+}
+
+}  // namespace vphi::hv

@@ -1,0 +1,133 @@
+// Guest kernel services the vPHI frontend driver depends on.
+//
+// * WaitQueue — the paper's waiting scheme, and the villain of its latency
+//   breakdown: a requester sleeps after kicking the ring; the virtual
+//   interrupt handler wakes *all* sleepers, each checks the shared ring, the
+//   owner proceeds, the rest re-sleep. Sec. IV-B attributes 93% of the
+//   375 us virtualization overhead to this sleep/wake path; the CostModel's
+//   guest_wakeup_scheme_ns (plus a per-extra-sleeper tax) reproduces it.
+// * page pinning — scif_register in the guest must pin user pages so RMA
+//   stays correct across swapping (Sec. III, "Guest memory registration").
+// * vma table — scif_mmap creates vmas tagged VM_PFNPHI carrying the device
+//   frame, the small host-kernel modification vPHI needs.
+// * copy_{from,to}_user timing — the only real copies on the vPHI data path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "hv/guest_mem.hpp"
+#include "sim/actor.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/status.hpp"
+
+namespace vphi::hv {
+
+/// The interrupt-driven wait queue of the vPHI frontend.
+class WaitQueue {
+ public:
+  explicit WaitQueue(const sim::CostModel& model) : model_(&model) {}
+
+  /// Register as a sleeper; returns the ticket the ISR completes later.
+  /// Must be called before the request is kicked (no lost-wakeup window).
+  std::uint64_t prepare();
+
+  /// Sleep until complete(ticket) arrives. Applies the waiting-scheme cost
+  /// to `actor`: resume time is irq visibility + ISR entry + wakeup scheme
+  /// + a tax for every other sleeper woken spuriously by our interrupt.
+  /// Returns kShutDown if the queue was torn down first.
+  sim::Status wait(std::uint64_t ticket, sim::Actor& actor);
+
+  /// ISR side: the response for `ticket` became visible at `irq_ts`.
+  void complete(std::uint64_t ticket, sim::Nanos irq_ts);
+
+  void shutdown();
+
+  std::size_t sleepers() const;
+  /// Threads currently blocked inside wait() (for deterministic tests).
+  std::size_t blocked_waiters() const;
+  /// Total spurious wakeups suffered by all sleepers (wake-all semantics).
+  std::uint64_t spurious_wakeups() const;
+
+ private:
+  struct Completion {
+    sim::Nanos irq_ts = 0;
+    std::size_t sleepers_at_irq = 0;
+  };
+
+  const sim::CostModel* model_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_ticket_ = 1;
+  std::set<std::uint64_t> sleeping_;
+  std::map<std::uint64_t, Completion> completed_;
+  std::uint64_t spurious_ = 0;
+  std::uint64_t wake_generation_ = 0;
+  std::size_t blocked_ = 0;
+  bool shutdown_ = false;
+};
+
+/// vm_area_struct flags we care about. VM_PFNPHI is the new label vPHI
+/// introduces for scif_mmap'ed device regions.
+inline constexpr std::uint32_t VM_PFNPHI = 0x1;
+
+struct Vma {
+  std::uint64_t gva_start = 0;
+  std::uint64_t len = 0;
+  std::uint32_t flags = 0;
+  /// Host pointer to the device frame backing this vma (the "stored
+  /// physical frame number" of the paper's kvm modification).
+  std::byte* device_base = nullptr;
+};
+
+class VmaTable {
+ public:
+  sim::Status add(const Vma& vma);
+  sim::Status remove(std::uint64_t gva_start);
+  /// The vma containing `gva`, or nullptr.
+  const Vma* find(std::uint64_t gva) const;
+  std::size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Vma> vmas_;  // keyed by gva_start
+};
+
+class GuestKernel {
+ public:
+  GuestKernel(GuestPhysMem& ram, const sim::CostModel& model)
+      : ram_(&ram), model_(&model), waitq_(model) {}
+
+  GuestPhysMem& ram() noexcept { return *ram_; }
+  WaitQueue& waitq() noexcept { return waitq_; }
+  VmaTable& vmas() noexcept { return vmas_; }
+  const sim::CostModel& model() const noexcept { return *model_; }
+
+  /// Pin `len` bytes of guest user memory at gpa (get_user_pages): charges
+  /// per-page cost and records the pin so unregister can validate.
+  sim::Status pin_pages(sim::Actor& actor, std::uint64_t gpa,
+                        std::uint64_t len);
+  sim::Status unpin_pages(std::uint64_t gpa, std::uint64_t len);
+  bool is_pinned(std::uint64_t gpa, std::uint64_t len) const;
+  std::uint64_t pinned_bytes() const;
+
+  /// copy_from_user / copy_to_user with guest-memcpy timing.
+  void copy_from_user(sim::Actor& actor, void* dst, const void* src,
+                      std::uint64_t len);
+  void copy_to_user(sim::Actor& actor, void* dst, const void* src,
+                    std::uint64_t len);
+
+ private:
+  GuestPhysMem* ram_;
+  const sim::CostModel* model_;
+  WaitQueue waitq_;
+  VmaTable vmas_;
+  mutable std::mutex pin_mu_;
+  std::map<std::uint64_t, std::uint64_t> pinned_;  // gpa -> len
+};
+
+}  // namespace vphi::hv

@@ -1,0 +1,64 @@
+// Guest physical memory.
+//
+// One contiguous host allocation backs a VM's RAM (exactly how QEMU mmaps
+// guest memory and registers it with KVM). Guest-physical addresses are
+// offsets into it; the backend's zero-copy access to ring buffers is the
+// translation gpa -> host pointer this class provides.
+//
+// A kernel-style allocator on top models kmalloc: Linux caps physically
+// contiguous allocations at KMALLOC_MAX_SIZE (4 MiB on x86_64), the limit
+// that forces the vPHI frontend to chunk large transfers (Sec. III,
+// "Implementation details").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "sim/status.hpp"
+
+namespace vphi::hv {
+
+/// KMALLOC_MAX_SIZE on x86_64.
+inline constexpr std::uint64_t kKmallocMaxSize = 4ull << 20;
+
+class GuestPhysMem {
+ public:
+  static constexpr std::uint64_t kPageSize = 4'096;
+
+  explicit GuestPhysMem(std::uint64_t ram_bytes);
+
+  GuestPhysMem(const GuestPhysMem&) = delete;
+  GuestPhysMem& operator=(const GuestPhysMem&) = delete;
+
+  std::uint64_t ram_bytes() const noexcept { return ram_bytes_; }
+
+  /// gpa -> host pointer; nullptr when [gpa, gpa+len) exceeds guest RAM.
+  void* translate(std::uint64_t gpa, std::uint64_t len) noexcept;
+  /// host pointer -> gpa; kBadAddress if outside guest RAM.
+  sim::Expected<std::uint64_t> gpa_of(const void* host_ptr) const noexcept;
+
+  /// kmalloc: physically contiguous allocation, capped at KMALLOC_MAX_SIZE.
+  /// Returns the gpa of the block.
+  sim::Expected<std::uint64_t> kmalloc(std::uint64_t len);
+  sim::Status kfree(std::uint64_t gpa);
+
+  /// User-space allocation (mmap stand-in): same arena, no kmalloc cap.
+  /// Guest user buffers for SCIF benchmarks come from here. Freed with
+  /// kfree.
+  sim::Expected<std::uint64_t> ualloc(std::uint64_t len);
+
+  std::uint64_t allocated_bytes() const;
+  std::uint64_t allocation_count() const;
+
+ private:
+  std::uint64_t ram_bytes_;
+  std::unique_ptr<std::byte[]> ram_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> free_blocks_;  // gpa -> len
+  std::map<std::uint64_t, std::uint64_t> live_blocks_;  // gpa -> len
+};
+
+}  // namespace vphi::hv

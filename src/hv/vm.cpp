@@ -1,0 +1,41 @@
+#include "hv/vm.hpp"
+
+namespace vphi::hv {
+
+Vm::Vm(const VmConfig& config, const sim::CostModel& model)
+    : config_(config),
+      model_(&model),
+      ram_(config.ram_bytes),
+      kernel_(ram_, model),
+      vq_(config.ring_size,
+          [this](std::uint64_t gpa, std::uint32_t len) {
+            return ram_.translate(gpa, len);
+          }),
+      status_(virtio::VIRTIO_F_VERSION_1 | virtio::VPHI_F_SCIF |
+              virtio::VPHI_F_MMAP_PFN | virtio::VPHI_F_SYSFS_INFO),
+      qemu_(config.name),
+      mmu_(kernel_.vmas(), model) {}
+
+Vm::~Vm() { shutdown(); }
+
+void Vm::inject_irq(sim::Nanos backend_now) {
+  IrqHandler handler;
+  {
+    std::lock_guard lock(irq_mu_);
+    handler = irq_handler_;
+    ++irq_count_;
+  }
+  if (handler) handler(backend_now + model_->irq_inject_ns);
+}
+
+void Vm::set_irq_handler(IrqHandler handler) {
+  std::lock_guard lock(irq_mu_);
+  irq_handler_ = std::move(handler);
+}
+
+void Vm::shutdown() {
+  vq_.shutdown();
+  kernel_.waitq().shutdown();
+}
+
+}  // namespace vphi::hv

@@ -1,0 +1,88 @@
+// A QEMU-KVM virtual machine container.
+//
+// Bundles what one VM contributes to the vPHI picture: guest RAM (registered
+// with the backend for zero-copy access), the guest kernel services, the
+// virtio queue pair shared between the vPHI frontend (in the guest) and the
+// vPHI backend (a QEMU device in host user space), the QEMU event loop the
+// backend runs on, the KVM MMU for the VM_PFNPHI mmap path, and the virtual
+// interrupt wire.
+//
+// Each Vm is one QEMU process — which is precisely how vPHI gets sharing:
+// the host SCIF driver just sees multiple processes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hv/event_loop.hpp"
+#include "hv/guest_kernel.hpp"
+#include "hv/guest_mem.hpp"
+#include "hv/kvm_mmu.hpp"
+#include "sim/cost_model.hpp"
+#include "virtio/device.hpp"
+#include "virtio/ring.hpp"
+
+namespace vphi::hv {
+
+struct VmConfig {
+  std::string name = "vm0";
+  std::uint64_t ram_bytes = 256ull << 20;
+  std::uint16_t ring_size = 256;
+  std::uint32_t vcpus = 1;  ///< the paper evaluates a single-core VM
+};
+
+class Vm {
+ public:
+  /// Called when the backend injects a virtual interrupt; receives the
+  /// simulated time the interrupt reaches the guest.
+  using IrqHandler = std::function<void(sim::Nanos)>;
+
+  Vm(const VmConfig& config, const sim::CostModel& model);
+  ~Vm();
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  const std::string& name() const noexcept { return config_.name; }
+  const VmConfig& config() const noexcept { return config_; }
+  const sim::CostModel& model() const noexcept { return *model_; }
+
+  GuestPhysMem& ram() noexcept { return ram_; }
+  GuestKernel& kernel() noexcept { return kernel_; }
+  virtio::Virtqueue& vq() noexcept { return vq_; }
+  virtio::DeviceStatus& device_status() noexcept { return status_; }
+  EventLoop& qemu() noexcept { return qemu_; }
+  kvm::Mmu& mmu() noexcept { return mmu_; }
+
+  /// Frontend side: charge a guest->host notification (MMIO write that VM
+  /// exits) and return the time the kick reaches QEMU.
+  sim::Nanos kick_cost(sim::Actor& actor) {
+    return actor.advance(model_->kick_vmexit_ns);
+  }
+
+  /// Backend side: deliver a virtual interrupt; the handler observes it at
+  /// now + injection latency.
+  void inject_irq(sim::Nanos backend_now);
+  void set_irq_handler(IrqHandler handler);
+  std::uint64_t irqs_injected() const noexcept { return irq_count_; }
+
+  /// Tear down the transport (unblocks the backend and any guest waiters).
+  void shutdown();
+
+ private:
+  VmConfig config_;
+  const sim::CostModel* model_;
+  GuestPhysMem ram_;
+  GuestKernel kernel_;
+  virtio::Virtqueue vq_;
+  virtio::DeviceStatus status_;
+  EventLoop qemu_;
+  kvm::Mmu mmu_;
+  IrqHandler irq_handler_;
+  std::mutex irq_mu_;
+  std::uint64_t irq_count_ = 0;
+};
+
+}  // namespace vphi::hv

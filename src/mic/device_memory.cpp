@@ -1,0 +1,83 @@
+#include "mic/device_memory.hpp"
+
+namespace vphi::mic {
+
+DeviceMemory::DeviceMemory(std::uint64_t backing_bytes)
+    : capacity_((backing_bytes + kPageSize - 1) / kPageSize * kPageSize),
+      backing_(std::make_unique<std::byte[]>(capacity_)) {
+  free_blocks_[0] = capacity_;
+}
+
+sim::Expected<std::uint64_t> DeviceMemory::allocate(std::uint64_t len) {
+  if (len == 0) return sim::Status::kInvalidArgument;
+  len = (len + kPageSize - 1) / kPageSize * kPageSize;
+  std::lock_guard lock(mu_);
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (it->second < len) continue;
+    const std::uint64_t offset = it->first;
+    const std::uint64_t remainder = it->second - len;
+    free_blocks_.erase(it);
+    if (remainder > 0) free_blocks_[offset + len] = remainder;
+    live_blocks_[offset] = len;
+    return offset;
+  }
+  return sim::Status::kNoMemory;
+}
+
+sim::Status DeviceMemory::free(std::uint64_t offset) {
+  std::lock_guard lock(mu_);
+  auto it = live_blocks_.find(offset);
+  if (it == live_blocks_.end()) return sim::Status::kInvalidArgument;
+  std::uint64_t len = it->second;
+  live_blocks_.erase(it);
+
+  // Coalesce with the next free block if adjacent.
+  auto next = free_blocks_.lower_bound(offset);
+  if (next != free_blocks_.end() && next->first == offset + len) {
+    len += next->second;
+    free_blocks_.erase(next);
+  }
+  // Coalesce with the previous free block if adjacent.
+  auto prev = free_blocks_.lower_bound(offset);
+  if (prev != free_blocks_.begin()) {
+    --prev;
+    if (prev->first + prev->second == offset) {
+      prev->second += len;
+      return sim::Status::kOk;
+    }
+  }
+  free_blocks_[offset] = len;
+  return sim::Status::kOk;
+}
+
+void* DeviceMemory::at(std::uint64_t offset) noexcept {
+  if (offset >= capacity_) return nullptr;
+  return backing_.get() + offset;
+}
+
+const void* DeviceMemory::at(std::uint64_t offset) const noexcept {
+  if (offset >= capacity_) return nullptr;
+  return backing_.get() + offset;
+}
+
+bool DeviceMemory::covers(std::uint64_t offset, std::uint64_t len) const {
+  std::lock_guard lock(mu_);
+  auto it = live_blocks_.upper_bound(offset);
+  if (it == live_blocks_.begin()) return false;
+  --it;
+  return offset >= it->first && offset + len <= it->first + it->second;
+}
+
+std::uint64_t DeviceMemory::used() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, len] : live_blocks_) total += len;
+  return total;
+}
+
+std::uint64_t DeviceMemory::allocation_count() const {
+  std::lock_guard lock(mu_);
+  return live_blocks_.size();
+}
+
+}  // namespace vphi::mic

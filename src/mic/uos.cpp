@@ -1,0 +1,53 @@
+#include "mic/uos.hpp"
+
+#include <algorithm>
+
+namespace vphi::mic::uos {
+
+double Scheduler::core_flops_rate(std::uint32_t resident) const {
+  if (resident == 0) return 0.0;
+  const auto& m = *model_;
+  const std::uint32_t hw = std::min(resident, m.mic_threads_per_core);
+  double rate = m.mic_core_hz * m.mic_flops_per_cycle * m.mic_issue_eff[hw];
+  if (resident > m.mic_threads_per_core) {
+    // Oversubscribed: the uOS round-robins; each timeslice pays one switch.
+    const double slice = static_cast<double>(m.uos_timeslice_ns);
+    const double tax = slice / (slice + static_cast<double>(m.uos_ctx_switch_ns));
+    rate *= tax;
+  }
+  return rate;
+}
+
+double Scheduler::aggregate_flops_rate(std::uint32_t nthreads) const {
+  if (nthreads == 0) return 0.0;
+  const std::uint32_t cores = usable_cores();
+  const std::uint32_t active = std::min(nthreads, cores);
+  const std::uint32_t q = nthreads / cores;
+  const std::uint32_t r = nthreads % cores;
+  double total = 0.0;
+  if (q == 0) {
+    total = static_cast<double>(active) * core_flops_rate(1);
+  } else {
+    total = static_cast<double>(r) * core_flops_rate(q + 1) +
+            static_cast<double>(cores - r) * core_flops_rate(q);
+  }
+  return total;
+}
+
+sim::Nanos Scheduler::compute_makespan(double total_flops,
+                                       std::uint32_t nthreads) const {
+  if (total_flops <= 0.0 || nthreads == 0) return 0;
+  const std::uint32_t cores = usable_cores();
+  // Most crowded core's resident thread count.
+  const std::uint32_t max_resident =
+      (nthreads + cores - 1) / cores;  // ceil
+  // A thread on the most crowded core progresses at core_rate / resident.
+  const double slowest_thread_rate =
+      core_flops_rate(max_resident) / static_cast<double>(max_resident);
+  const double per_thread_flops =
+      total_flops / static_cast<double>(nthreads);
+  const double seconds = per_thread_flops / slowest_thread_rate;
+  return static_cast<sim::Nanos>(seconds * 1e9);
+}
+
+}  // namespace vphi::mic::uos

@@ -1,0 +1,270 @@
+#include "net/micshell.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "coi/binary.hpp"
+#include "coi/wire.hpp"
+#include "scif/types.hpp"
+#include "sim/actor.hpp"
+
+namespace vphi::net {
+
+namespace {
+
+/// Charge the ssh crypto cost for a datagram of `len` bytes.
+void charge_crypto(std::size_t len) {
+  sim::this_actor().advance(kCryptoPerDatagram +
+                            sim::transfer_time(len, kCryptoBytesPerSecond));
+}
+
+/// scp pushes content in datagrams of this size.
+constexpr std::size_t kScpChunk = 256 * 1024;
+
+}  // namespace
+
+// --- daemon -----------------------------------------------------------------
+
+MicShellDaemon::MicShellDaemon(scif::Fabric& fabric, mic::Card& card,
+                               scif::NodeId node)
+    : fabric_(&fabric),
+      card_(&card),
+      node_(node),
+      provider_(std::make_unique<scif::HostProvider>(fabric, node)) {}
+
+MicShellDaemon::~MicShellDaemon() { stop(); }
+
+sim::Status MicShellDaemon::start() {
+  if (running_.exchange(true)) return sim::Status::kOk;
+  auto epd = provider_->open();
+  if (!epd) return epd.status();
+  listener_epd_ = *epd;
+  auto bound = provider_->bind(listener_epd_, kShellPort);
+  if (!bound) return bound.status();
+  const auto listening = provider_->listen(listener_epd_, 8);
+  if (!sim::ok(listening)) return listening;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return sim::Status::kOk;
+}
+
+void MicShellDaemon::stop() {
+  if (!running_.exchange(false)) return;
+  provider_->close_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard lock(mu_);
+    sessions.swap(sessions_threads_);
+  }
+  for (auto& s : sessions) {
+    if (s.joinable()) s.join();
+  }
+}
+
+void MicShellDaemon::accept_loop() {
+  sim::Actor actor{"mic-sshd"};
+  sim::ActorScope scope(actor);
+  actor.sync_to(card_->card_actor().now());
+  while (running_.load(std::memory_order_relaxed)) {
+    auto acc = provider_->accept(listener_epd_, scif::SCIF_ACCEPT_SYNC);
+    if (!acc) break;
+    std::lock_guard lock(mu_);
+    ++session_count_;
+    sessions_threads_.emplace_back(
+        [this, epd = acc->epd] { serve_session(epd); });
+  }
+}
+
+void MicShellDaemon::serve_session(int epd) {
+  sim::Actor actor{"mic-sshd-session", sim::Actor::AtNow{}};
+  sim::ActorScope scope(actor);
+  VirtualEthernet veth{*provider_, epd};
+
+  for (;;) {
+    auto datagram = veth.recv_datagram();
+    if (!datagram) break;  // session closed
+    charge_crypto(datagram->size());
+    coi::Decoder dec{datagram->data(), datagram->size()};
+    auto command = dec.string();
+    if (!command) break;
+
+    coi::Encoder reply;
+    if (*command == "push") {
+      auto name = dec.string();
+      auto bytes = dec.u64();
+      if (!name || !bytes) break;
+      // Receive the content datagrams.
+      std::uint64_t remaining = *bytes;
+      bool failed = false;
+      while (remaining > 0) {
+        auto chunk = veth.recv_datagram();
+        if (!chunk) {
+          failed = true;
+          break;
+        }
+        charge_crypto(chunk->size());
+        remaining -= std::min<std::uint64_t>(remaining, chunk->size());
+      }
+      if (failed) break;
+      {
+        std::lock_guard lock(mu_);
+        files_[*name] = *bytes;
+      }
+      reply.put_string("ok");
+      reply.put_i64(0);
+    } else if (*command == "exec") {
+      auto binary = dec.string();
+      auto kernel = dec.string();
+      auto nthreads = dec.u32();
+      auto args = dec.strings();
+      if (!binary || !kernel || !nthreads || !args) break;
+      bool have_file;
+      {
+        std::lock_guard lock(mu_);
+        have_file = files_.count(*binary) > 0;
+      }
+      if (!have_file) {
+        reply.put_string("sh: " + *binary + ": No such file or directory");
+        reply.put_i64(127);
+      } else {
+        auto fn = coi::KernelRegistry::instance().lookup(*kernel);
+        if (!fn) {
+          reply.put_string("exec format error");
+          reply.put_i64(126);
+        } else {
+          // exec + thread spawn + the kernel itself, on this session's
+          // card-side timeline.
+          actor.advance(card_->scheduler().exec_cost() +
+                        card_->scheduler().spawn_cost(*nthreads));
+          coi::KernelContext ctx;
+          ctx.card = card_;
+          ctx.actor = &actor;
+          ctx.nthreads = *nthreads;
+          ctx.args = *args;
+          const int code = (*fn)(ctx);
+          reply.put_string(ctx.output);
+          reply.put_i64(code);
+        }
+      }
+    } else if (*command == "info") {
+      reply.put_string(card_->sysfs().render());
+      reply.put_i64(0);
+    } else {
+      reply.put_string("sh: " + *command + ": command not found");
+      reply.put_i64(127);
+    }
+
+    coi::Encoder framed;
+    framed = std::move(reply);
+    charge_crypto(framed.bytes().size());
+    if (!sim::ok(veth.send_datagram(framed.bytes().data(),
+                                    framed.bytes().size()))) {
+      break;
+    }
+  }
+  provider_->close(epd);
+}
+
+std::uint64_t MicShellDaemon::stored_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, bytes] : files_) total += bytes;
+  return total;
+}
+
+std::uint64_t MicShellDaemon::sessions() const {
+  std::lock_guard lock(mu_);
+  return session_count_;
+}
+
+// --- client ------------------------------------------------------------------
+
+sim::Expected<ShellClient> ShellClient::connect(scif::Provider& provider,
+                                                scif::NodeId card_node) {
+  auto epd = provider.open();
+  if (!epd) return epd.status();
+  const auto connected =
+      provider.connect(*epd, scif::PortId{card_node, kShellPort});
+  if (!sim::ok(connected)) {
+    provider.close(*epd);
+    return connected;
+  }
+  return ShellClient{&provider, *epd};
+}
+
+ShellClient::~ShellClient() { close(); }
+
+ShellClient::ShellClient(ShellClient&& other) noexcept
+    : provider_(other.provider_),
+      epd_(other.epd_),
+      veth_(*other.provider_, other.epd_) {
+  other.provider_ = nullptr;
+  other.epd_ = -1;
+}
+
+sim::Status ShellClient::push_file(const std::string& name,
+                                   std::uint64_t bytes) {
+  if (provider_ == nullptr) return sim::Status::kBadDescriptor;
+  coi::Encoder cmd;
+  cmd.put_string("push");
+  cmd.put_string(name);
+  cmd.put_u64(bytes);
+  charge_crypto(cmd.bytes().size());
+  auto sent = veth_.send_datagram(cmd.bytes().data(), cmd.bytes().size());
+  if (!sim::ok(sent)) return sent;
+
+  std::vector<std::uint8_t> chunk(
+      static_cast<std::size_t>(std::min<std::uint64_t>(bytes, kScpChunk)),
+      0x42);
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const auto n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kScpChunk));
+    charge_crypto(n);
+    sent = veth_.send_datagram(chunk.data(), n);
+    if (!sim::ok(sent)) return sent;
+    remaining -= n;
+  }
+  auto reply = veth_.recv_datagram();
+  if (!reply) return reply.status();
+  charge_crypto(reply->size());
+  coi::Decoder dec{reply->data(), reply->size()};
+  auto status_text = dec.string();
+  auto code = dec.i64();
+  if (!status_text || !code) return sim::Status::kConnectionReset;
+  return *code == 0 ? sim::Status::kOk : sim::Status::kInternal;
+}
+
+sim::Expected<ExecResult> ShellClient::exec(
+    const std::string& binary, const std::string& kernel,
+    std::uint32_t nthreads, const std::vector<std::string>& args) {
+  if (provider_ == nullptr) return sim::Status::kBadDescriptor;
+  coi::Encoder cmd;
+  cmd.put_string("exec");
+  cmd.put_string(binary);
+  cmd.put_string(kernel);
+  cmd.put_u32(nthreads);
+  cmd.put_strings(args);
+  charge_crypto(cmd.bytes().size());
+  const auto sent = veth_.send_datagram(cmd.bytes().data(), cmd.bytes().size());
+  if (!sim::ok(sent)) return sent;
+
+  auto reply = veth_.recv_datagram();
+  if (!reply) return reply.status();
+  charge_crypto(reply->size());
+  coi::Decoder dec{reply->data(), reply->size()};
+  auto output = dec.string();
+  auto code = dec.i64();
+  if (!output || !code) return sim::Status::kConnectionReset;
+  return ExecResult{static_cast<int>(*code), std::move(*output)};
+}
+
+sim::Status ShellClient::close() {
+  if (provider_ == nullptr || epd_ < 0) return sim::Status::kOk;
+  const auto closed = provider_->close(epd_);
+  epd_ = -1;
+  provider_ = nullptr;
+  return closed;
+}
+
+}  // namespace vphi::net

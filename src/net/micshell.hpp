@@ -1,0 +1,113 @@
+// ssh-style remote access to the card over the emulated network.
+//
+// Sec. IV-A: "In native mode of execution there are two choices. The user
+// can either ssh to the accelerator and execute the application locally,
+// or launch the MIC executable directly from the host. In the first case
+// the user should explicitly copy the executables, libraries and other
+// dependencies on the coprocessor and then execute" — and the paper
+// rejects that first option for cloud setups ("many users logged in a
+// shared accelerator environment ruining the isolation characteristics").
+//
+// This module makes that rejected option runnable so it can be compared:
+// MicShellDaemon is the card's sshd stand-in (sessions ride the
+// VirtualEthernet), ShellClient offers scp-like push and remote exec.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mic/card.hpp"
+#include "net/veth.hpp"
+#include "scif/host_provider.hpp"
+
+namespace vphi::net {
+
+/// Well-known SCIF port the shell daemon (sshd) listens on, over the
+/// emulated interface.
+inline constexpr scif::Port kShellPort = 401;
+
+/// ssh transport crypto cost: fixed per datagram plus per-byte (AES on a
+/// single in-order KNC core is slow — a real pain point of the ssh path).
+inline constexpr sim::Nanos kCryptoPerDatagram = 20'000;
+inline constexpr double kCryptoBytesPerSecond = 1.2e9;
+
+struct ExecResult {
+  int exit_code = 0;
+  std::string output;
+};
+
+class MicShellDaemon {
+ public:
+  MicShellDaemon(scif::Fabric& fabric, mic::Card& card, scif::NodeId node);
+  ~MicShellDaemon();
+
+  MicShellDaemon(const MicShellDaemon&) = delete;
+  MicShellDaemon& operator=(const MicShellDaemon&) = delete;
+
+  sim::Status start();
+  void stop();
+
+  /// Bytes of files pushed into the card's "filesystem" so far.
+  std::uint64_t stored_bytes() const;
+  std::uint64_t sessions() const;
+
+ private:
+  void accept_loop();
+  void serve_session(int epd);
+
+  scif::Fabric* fabric_;
+  mic::Card* card_;
+  scif::NodeId node_;
+  std::unique_ptr<scif::HostProvider> provider_;
+  int listener_epd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  mutable std::mutex mu_;
+  std::vector<std::thread> sessions_threads_;
+  std::map<std::string, std::uint64_t> files_;  ///< name -> bytes
+  std::uint64_t session_count_ = 0;
+};
+
+/// The user's side: ssh/scp against the card's shell daemon.
+class ShellClient {
+ public:
+  /// Opens one "ssh session" (SCIF connect + virtual Ethernet).
+  static sim::Expected<ShellClient> connect(scif::Provider& provider,
+                                            scif::NodeId card_node);
+  ~ShellClient();
+
+  ShellClient(ShellClient&&) noexcept;
+  ShellClient& operator=(ShellClient&&) = delete;
+  ShellClient(const ShellClient&) = delete;
+
+  /// scp-like transfer: push `bytes` of content under `name`. The content
+  /// is synthetic; every byte crosses the emulated network with frame and
+  /// crypto costs.
+  sim::Status push_file(const std::string& name, std::uint64_t bytes);
+
+  /// Remote command: run a registered kernel with `nthreads` and args —
+  /// what "ssh mic0 ./a.out" amounts to. The named binary must have been
+  /// pushed first (the daemon checks its "filesystem").
+  sim::Expected<ExecResult> exec(const std::string& binary,
+                                 const std::string& kernel,
+                                 std::uint32_t nthreads,
+                                 const std::vector<std::string>& args);
+
+  sim::Status close();
+
+ private:
+  ShellClient(scif::Provider* provider, int epd)
+      : provider_(provider), epd_(epd), veth_(*provider, epd) {}
+
+  scif::Provider* provider_;
+  int epd_;
+  VirtualEthernet veth_;
+};
+
+}  // namespace vphi::net

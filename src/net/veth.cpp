@@ -1,0 +1,60 @@
+#include "net/veth.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "scif/types.hpp"
+#include "sim/actor.hpp"
+
+namespace vphi::net {
+
+sim::Status VirtualEthernet::send_datagram(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  auto& actor = sim::this_actor();
+  std::size_t off = 0;
+  do {
+    const std::size_t chunk = std::min(kMtu, len - off);
+    FrameHeader header{static_cast<std::uint32_t>(len),
+                       static_cast<std::uint32_t>(chunk)};
+    actor.advance(kPerFrameCost);
+    auto sent = provider_->send(epd_, &header, sizeof(header),
+                                scif::SCIF_SEND_BLOCK);
+    if (!sent) return sent.status();
+    if (chunk > 0) {
+      sent = provider_->send(epd_, bytes + off, chunk, scif::SCIF_SEND_BLOCK);
+      if (!sent) return sent.status();
+    }
+    ++frames_sent_;
+    off += chunk;
+  } while (off < len);
+  return sim::Status::kOk;
+}
+
+sim::Expected<std::vector<std::uint8_t>> VirtualEthernet::recv_datagram() {
+  auto& actor = sim::this_actor();
+  std::vector<std::uint8_t> datagram;
+  std::size_t expected = 0;
+  do {
+    FrameHeader header;
+    auto got = provider_->recv(epd_, &header, sizeof(header),
+                               scif::SCIF_RECV_BLOCK);
+    if (!got) return got.status();
+    if (*got != sizeof(header)) return sim::Status::kConnectionReset;
+    actor.advance(kPerFrameCost);
+    if (datagram.empty()) {
+      expected = header.datagram_len;
+      datagram.reserve(expected);
+    }
+    if (header.frame_len > 0) {
+      const std::size_t prior = datagram.size();
+      datagram.resize(prior + header.frame_len);
+      got = provider_->recv(epd_, datagram.data() + prior, header.frame_len,
+                            scif::SCIF_RECV_BLOCK);
+      if (!got) return got.status();
+    }
+    ++frames_received_;
+  } while (datagram.size() < expected);
+  return datagram;
+}
+
+}  // namespace vphi::net

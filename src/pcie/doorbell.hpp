@@ -1,0 +1,52 @@
+// Doorbell / interrupt wires across the PCIe link.
+//
+// A Doorbell is a one-directional notification line: ringing it costs the
+// sender one MMIO hop; the waiter observes the ring at sender-time + hop.
+#pragma once
+
+#include <optional>
+
+#include "pcie/link.hpp"
+#include "sim/actor.hpp"
+#include "sim/channel.hpp"
+
+namespace vphi::pcie {
+
+class Doorbell {
+ public:
+  explicit Doorbell(Link& link) : link_(&link) {}
+
+  /// Ring from `sender`: pays the MMIO hop on the sender's clock; the event
+  /// becomes visible to the waiter at the post-hop time.
+  void ring(sim::Actor& sender) {
+    const sim::Nanos visible = link_->mmio_hop(sender);
+    line_.raise(visible);
+  }
+
+  /// Block until rung; merges the ring's visibility time into `waiter`.
+  /// Returns false if the doorbell was shut down.
+  bool wait(sim::Actor& waiter) {
+    const auto ts = line_.wait();
+    if (!ts) return false;
+    waiter.sync_to(*ts);
+    return true;
+  }
+
+  /// Non-blocking poll; merges time on success.
+  bool try_wait(sim::Actor& waiter) {
+    const auto ts = line_.try_wait();
+    if (!ts) return false;
+    waiter.sync_to(*ts);
+    return true;
+  }
+
+  void shutdown() { line_.close(); }
+
+  std::uint64_t pending() const { return line_.pending(); }
+
+ private:
+  Link* link_;
+  sim::EventLine line_;
+};
+
+}  // namespace vphi::pcie

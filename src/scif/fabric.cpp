@@ -1,0 +1,47 @@
+#include "scif/fabric.hpp"
+
+#include <chrono>
+
+#include "mic/card.hpp"
+#include "scif/endpoint.hpp"
+
+namespace vphi::scif {
+
+std::uint64_t PollHub::wait_change(std::uint64_t seen, int timeout_ms) {
+  std::unique_lock lock(mu_);
+  if (timeout_ms < 0) {
+    cv_.wait(lock, [&] { return version_ != seen; });
+  } else {
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                 [&] { return version_ != seen; });
+  }
+  return version_;
+}
+
+Fabric::Fabric(const sim::CostModel& model) : model_(&model) {
+  nodes_.push_back(std::make_unique<Node>(*this, kHostNode, nullptr));
+}
+
+Fabric::~Fabric() = default;
+
+NodeId Fabric::attach_card(mic::Card& card) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(*this, id, &card));
+  return id;
+}
+
+Node* Fabric::node(NodeId id) noexcept {
+  if (id >= nodes_.size()) return nullptr;
+  return nodes_[id].get();
+}
+
+pcie::Link* Fabric::link_between(NodeId a, NodeId b) noexcept {
+  if (a == kHostNode && b == kHostNode) return nullptr;
+  // Use the non-host node's link; for card<->card pick the initiator's.
+  const NodeId card_node = a == kHostNode ? b : a;
+  Node* n = node(card_node);
+  if (n == nullptr || n->card() == nullptr) return nullptr;
+  return &n->card()->link();
+}
+
+}  // namespace vphi::scif

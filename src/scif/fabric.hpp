@@ -1,0 +1,82 @@
+// The SCIF fabric: the set of nodes reachable over PCIe plus the shared
+// readiness hub used by scif_poll().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "scif/node.hpp"
+#include "scif/types.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/time.hpp"
+
+namespace vphi::mic {
+class Card;
+}
+namespace vphi::pcie {
+class Link;
+}
+
+namespace vphi::scif {
+
+/// Wakes scif_poll() waiters whenever any endpoint's readiness changes.
+class PollHub {
+ public:
+  void notify() {
+    {
+      std::lock_guard lock(mu_);
+      ++version_;
+    }
+    cv_.notify_all();
+  }
+
+  std::uint64_t version() const {
+    std::lock_guard lock(mu_);
+    return version_;
+  }
+
+  /// Wait (real time, bounded) until version changes from `seen`.
+  /// Returns the new version, or `seen` on timeout.
+  std::uint64_t wait_change(std::uint64_t seen, int timeout_ms);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t version_ = 0;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const sim::CostModel& model);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Attach a card as the next SCIF node; returns its node id.
+  NodeId attach_card(mic::Card& card);
+
+  Node& host_node() noexcept { return *nodes_.front(); }
+  Node* node(NodeId id) noexcept;
+  std::uint16_t node_count() const noexcept {
+    return static_cast<std::uint16_t>(nodes_.size());
+  }
+
+  /// The PCIe link data between `a` and `b` rides, or nullptr for
+  /// host-local loopback. Card<->card peer-to-peer uses the initiator's
+  /// card link (traffic crosses the host root complex either way).
+  pcie::Link* link_between(NodeId a, NodeId b) noexcept;
+
+  const sim::CostModel& model() const noexcept { return *model_; }
+  PollHub& poll_hub() noexcept { return poll_hub_; }
+
+ private:
+  const sim::CostModel* model_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  PollHub poll_hub_;
+};
+
+}  // namespace vphi::scif

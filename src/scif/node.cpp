@@ -1,0 +1,58 @@
+#include "scif/node.hpp"
+
+#include "scif/endpoint.hpp"
+
+namespace vphi::scif {
+
+Node::Node(Fabric& fabric, NodeId id, mic::Card* card)
+    : fabric_(&fabric), id_(id), card_(card) {}
+
+sim::Expected<Port> Node::claim_port(Port pn) {
+  std::lock_guard lock(mu_);
+  if (pn != 0) {
+    if (claimed_.count(pn) != 0) return sim::Status::kAddressInUse;
+    claimed_[pn] = true;
+    return pn;
+  }
+  // Ephemeral allocation: scan forward from the cursor, wrapping once.
+  for (std::uint32_t i = 0; i < 65'536 - kEphemeralBase; ++i) {
+    Port candidate = static_cast<Port>(
+        kEphemeralBase +
+        (static_cast<std::uint32_t>(next_ephemeral_ - kEphemeralBase) + i) %
+            (65'536u - kEphemeralBase));
+    if (claimed_.count(candidate) == 0) {
+      claimed_[candidate] = true;
+      next_ephemeral_ = static_cast<Port>(candidate + 1);
+      if (next_ephemeral_ < kEphemeralBase) next_ephemeral_ = kEphemeralBase;
+      return candidate;
+    }
+  }
+  return sim::Status::kNoSpace;
+}
+
+void Node::release_port(Port pn) {
+  std::lock_guard lock(mu_);
+  claimed_.erase(pn);
+  listeners_.erase(pn);
+}
+
+sim::Status Node::publish_listener(Port pn, std::shared_ptr<Endpoint> ep) {
+  std::lock_guard lock(mu_);
+  if (claimed_.count(pn) == 0) return sim::Status::kInvalidArgument;
+  listeners_[pn] = std::move(ep);
+  return sim::Status::kOk;
+}
+
+void Node::retract_listener(Port pn) {
+  std::lock_guard lock(mu_);
+  listeners_.erase(pn);
+}
+
+std::shared_ptr<Endpoint> Node::listener_at(Port pn) {
+  std::lock_guard lock(mu_);
+  auto it = listeners_.find(pn);
+  if (it == listeners_.end()) return nullptr;
+  return it->second.lock();
+}
+
+}  // namespace vphi::scif

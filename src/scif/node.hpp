@@ -1,0 +1,56 @@
+// A SCIF node: one participant in the fabric (the host is node 0; each Xeon
+// Phi card is a node 1..N). Owns the node's port space and its reference to
+// the card (for card nodes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "scif/types.hpp"
+#include "sim/status.hpp"
+
+namespace vphi::mic {
+class Card;
+}
+
+namespace vphi::scif {
+
+class Endpoint;
+class Fabric;
+
+class Node {
+ public:
+  Node(Fabric& fabric, NodeId id, mic::Card* card);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  Fabric& fabric() noexcept { return *fabric_; }
+  /// Null for the host node.
+  mic::Card* card() noexcept { return card_; }
+  bool is_host() const noexcept { return card_ == nullptr; }
+
+  /// Claim `pn`, or an ephemeral port when pn == 0.
+  sim::Expected<Port> claim_port(Port pn);
+  void release_port(Port pn);
+
+  /// Register/unregister a listening endpoint on its bound port.
+  sim::Status publish_listener(Port pn, std::shared_ptr<Endpoint> ep);
+  void retract_listener(Port pn);
+  std::shared_ptr<Endpoint> listener_at(Port pn);
+
+ private:
+  Fabric* fabric_;
+  NodeId id_;
+  mic::Card* card_;
+
+  std::mutex mu_;
+  std::map<Port, bool> claimed_;  // port -> claimed
+  std::map<Port, std::weak_ptr<Endpoint>> listeners_;
+  Port next_ephemeral_ = kEphemeralBase;
+};
+
+}  // namespace vphi::scif

@@ -1,0 +1,102 @@
+// The SCIF provider interface — the exact libscif surface.
+//
+// Applications, tools and the COI layer are written against this interface
+// with descriptor-based calls that mirror Intel's libscif one to one. Two
+// implementations exist:
+//   * scif::HostProvider — the native path: descriptors resolve to kernel
+//     endpoints on the local SCIF node (host process or card process);
+//   * vphi::GuestScifProvider — the virtualized path inside a VM: every
+//     call is forwarded through the vPHI frontend driver and virtio ring to
+//     the QEMU backend, which replays it against a HostProvider.
+// Because both present this same interface, everything above SCIF (COI,
+// micnativeloadex, the benchmarks) runs unmodified in either environment —
+// the paper's binary-compatibility property.
+//
+// All calls charge simulated time to the calling thread's sim::Actor
+// (sim::this_actor()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "scif/types.hpp"
+#include "sim/status.hpp"
+
+namespace vphi::mic {
+class SysfsInfo;
+}
+
+namespace vphi::scif {
+
+/// A live mapping created by Provider::mmap. `data` aliases remote (device)
+/// memory; `cookie` identifies the mapping to munmap and the instrumented
+/// accessors.
+struct Mapping {
+  std::byte* data = nullptr;
+  std::size_t len = 0;
+  RegOffset roffset = 0;
+  std::uint64_t cookie = 0;
+
+  bool valid() const noexcept { return data != nullptr; }
+};
+
+class Provider {
+ public:
+  virtual ~Provider() = default;
+
+  // --- endpoint lifecycle (scif_open/close/bind/listen/connect/accept) ----
+  virtual sim::Expected<int> open() = 0;
+  virtual sim::Status close(int epd) = 0;
+  virtual sim::Expected<Port> bind(int epd, Port pn) = 0;
+  virtual sim::Status listen(int epd, int backlog) = 0;
+  virtual sim::Status connect(int epd, PortId dst) = 0;
+  virtual sim::Expected<AcceptResult> accept(int epd, int flags) = 0;
+
+  // --- messaging (scif_send/scif_recv) -------------------------------------
+  virtual sim::Expected<std::size_t> send(int epd, const void* msg,
+                                          std::size_t len, int flags) = 0;
+  virtual sim::Expected<std::size_t> recv(int epd, void* msg, std::size_t len,
+                                          int flags) = 0;
+
+  // --- registered memory & RMA ----------------------------------------------
+  virtual sim::Expected<RegOffset> register_mem(int epd, void* addr,
+                                                std::size_t len,
+                                                RegOffset offset, int prot,
+                                                int flags) = 0;
+  virtual sim::Status unregister_mem(int epd, RegOffset offset,
+                                     std::size_t len) = 0;
+  virtual sim::Status readfrom(int epd, RegOffset loffset, std::size_t len,
+                               RegOffset roffset, int flags) = 0;
+  virtual sim::Status writeto(int epd, RegOffset loffset, std::size_t len,
+                              RegOffset roffset, int flags) = 0;
+  virtual sim::Status vreadfrom(int epd, void* addr, std::size_t len,
+                                RegOffset roffset, int flags) = 0;
+  virtual sim::Status vwriteto(int epd, void* addr, std::size_t len,
+                               RegOffset roffset, int flags) = 0;
+
+  // --- mmap (scif_mmap/scif_munmap) ------------------------------------------
+  virtual sim::Expected<Mapping> mmap(int epd, RegOffset roffset,
+                                      std::size_t len, int prot) = 0;
+  virtual sim::Status munmap(Mapping& mapping) = 0;
+  /// Instrumented access through a mapping (charges MMIO / fault costs).
+  virtual sim::Status map_read(const Mapping& mapping, std::size_t off,
+                               void* dst, std::size_t n) = 0;
+  virtual sim::Status map_write(const Mapping& mapping, std::size_t off,
+                                const void* src, std::size_t n) = 0;
+
+  // --- synchronization ----------------------------------------------------------
+  virtual sim::Expected<int> fence_mark(int epd, int flags) = 0;
+  virtual sim::Status fence_wait(int epd, int mark) = 0;
+  virtual sim::Status fence_signal(int epd, RegOffset loff, std::uint64_t lval,
+                                   RegOffset roff, std::uint64_t rval,
+                                   int flags) = 0;
+  virtual sim::Expected<int> poll(PollEpd* epds, int nepds, int timeout_ms) = 0;
+
+  // --- topology & platform info ----------------------------------------------
+  virtual sim::Expected<NodeIds> get_node_ids() = 0;
+  /// The MPSS sysfs view of card `index` (micnativeloadex reads this; vPHI
+  /// forwards the host's table into the guest).
+  virtual sim::Expected<mic::SysfsInfo> card_info(std::uint32_t index) = 0;
+};
+
+}  // namespace vphi::scif

@@ -1,0 +1,78 @@
+// Flow-controlled byte stream with simulated-time segments.
+//
+// scif_send/scif_recv have reliable byte-stream semantics with a bounded
+// in-flight window (the driver's receive buffer). Each written segment
+// carries the simulated time it becomes visible to the reader; a reader
+// merges its clock with the newest segment it consumes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "sim/status.hpp"
+#include "sim/time.hpp"
+
+namespace vphi::scif {
+
+class Stream {
+ public:
+  /// `capacity` bounds unread bytes; writers of more block (flow control).
+  explicit Stream(std::size_t capacity = 4ull << 20) : capacity_(capacity) {}
+
+  struct WriteResult {
+    std::size_t written = 0;
+  };
+  struct ReadResult {
+    std::size_t read = 0;
+    sim::Nanos newest_ts = 0;  ///< visibility time of the last byte consumed
+  };
+
+  /// Append up to `len` bytes visible to readers at `ts`. If `blocking`,
+  /// waits for window space and writes everything (or fails on reset);
+  /// otherwise writes what fits now and may return 0 written with kWouldBlock.
+  sim::Expected<WriteResult> write(const void* src, std::size_t len,
+                                   sim::Nanos ts, bool blocking);
+
+  /// Consume up to `len` bytes. If `blocking`, waits until *all* `len` bytes
+  /// have been read (SCIF_RECV_BLOCK semantics) or the stream resets;
+  /// otherwise returns whatever is available (kWouldBlock if none).
+  sim::Expected<ReadResult> read(void* dst, std::size_t len, bool blocking);
+
+  /// Bytes currently readable.
+  std::size_t available() const;
+  /// Space a non-blocking writer could use right now.
+  std::size_t window() const;
+  /// Visibility time of the oldest unread byte (0 if empty).
+  sim::Nanos head_ts() const;
+
+  /// Peer closed: readers drain remaining bytes then get kConnectionReset;
+  /// writers fail immediately.
+  void reset();
+  bool is_reset() const;
+
+  std::uint64_t total_written() const;
+
+ private:
+  struct Segment {
+    std::vector<std::byte> data;
+    std::size_t consumed = 0;  ///< bytes already read out of `data`
+    sim::Nanos ts = 0;
+
+    std::size_t unread() const noexcept { return data.size() - consumed; }
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<Segment> segments_;
+  std::size_t unread_ = 0;
+  std::uint64_t total_written_ = 0;
+  bool reset_ = false;
+};
+
+}  // namespace vphi::scif

@@ -1,0 +1,93 @@
+// SCIF (Symmetric Communication Interface) public types and constants.
+//
+// This mirrors Intel's scif.h so code written against the real API ports
+// 1:1: the same names, the same flag semantics, the same port-space rules.
+// vPHI's transparency claim rests on keeping this surface identical between
+// the host provider and the guest (virtualized) provider.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vphi::scif {
+
+/// SCIF node id: the host is always node 0; cards are 1..N.
+using NodeId = std::uint16_t;
+/// Port number within a node's port space.
+using Port = std::uint16_t;
+/// Offset in an endpoint's registered address space.
+using RegOffset = std::int64_t;
+
+inline constexpr NodeId kHostNode = 0;
+
+/// Ports below this are reserved for privileged services (the COI daemon
+/// listens on one); ephemeral binds allocate at or above it.
+inline constexpr Port kPortReserved = 1'088;
+/// First port handed out by the ephemeral allocator.
+inline constexpr Port kEphemeralBase = 2'048;
+
+/// (node, port) pair identifying one end of a connection — scif_portID.
+struct PortId {
+  NodeId node = 0;
+  Port port = 0;
+
+  friend bool operator==(const PortId&, const PortId&) = default;
+};
+
+// --- Flags (values mirror Intel scif.h where public) -------------------------
+
+// send/recv
+inline constexpr int SCIF_SEND_BLOCK = 0x1;
+inline constexpr int SCIF_RECV_BLOCK = 0x1;
+
+// accept
+inline constexpr int SCIF_ACCEPT_SYNC = 0x1;
+
+// register: protection
+inline constexpr int SCIF_PROT_READ = 0x1;
+inline constexpr int SCIF_PROT_WRITE = 0x2;
+
+// register: flags
+inline constexpr int SCIF_MAP_FIXED = 0x10;
+
+// RMA flags
+inline constexpr int SCIF_RMA_USECPU = 0x1;   ///< CPU copy instead of DMA
+inline constexpr int SCIF_RMA_USECACHE = 0x2; ///< (accepted, no-op in sim)
+inline constexpr int SCIF_RMA_SYNC = 0x4;     ///< block until completion
+inline constexpr int SCIF_RMA_ORDERED = 0x8;  ///< (accepted, ordering is implicit)
+
+// fence flags
+inline constexpr int SCIF_FENCE_INIT_SELF = 0x1;  ///< RMAs initiated locally
+inline constexpr int SCIF_FENCE_INIT_PEER = 0x2;  ///< RMAs initiated by peer
+inline constexpr int SCIF_FENCE_RAS_SELF = 0x4;
+inline constexpr int SCIF_FENCE_RAS_PEER = 0x8;
+inline constexpr int SCIF_SIGNAL_LOCAL = 0x10;
+inline constexpr int SCIF_SIGNAL_REMOTE = 0x20;
+
+// poll events (match poll(2) bits)
+inline constexpr short SCIF_POLLIN = 0x001;
+inline constexpr short SCIF_POLLOUT = 0x004;
+inline constexpr short SCIF_POLLERR = 0x008;
+inline constexpr short SCIF_POLLHUP = 0x010;
+inline constexpr short SCIF_POLLNVAL = 0x020;
+
+/// One entry of a scif_poll() set — mirrors scif_pollepd.
+struct PollEpd {
+  int epd = -1;
+  short events = 0;   ///< requested
+  short revents = 0;  ///< returned
+};
+
+/// Result of scif_get_node_ids().
+struct NodeIds {
+  std::uint16_t total = 0;  ///< number of nodes in the fabric
+  NodeId self = 0;          ///< the caller's node
+};
+
+/// Result of accept(): a fresh connected endpoint plus the peer identity.
+struct AcceptResult {
+  int epd = -1;
+  PortId peer;
+};
+
+}  // namespace vphi::scif

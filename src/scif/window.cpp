@@ -1,0 +1,120 @@
+#include "scif/window.hpp"
+
+#include <algorithm>
+
+namespace vphi::scif {
+
+sim::Expected<RegOffset> WindowTable::add(std::byte* base, std::size_t len,
+                                          RegOffset offset, int prot,
+                                          int flags, bool fragmented) {
+  if (base == nullptr || len == 0) return sim::Status::kInvalidArgument;
+  if (len % kPageSize != 0) return sim::Status::kInvalidArgument;
+  if (prot == 0) return sim::Status::kInvalidArgument;
+
+  std::lock_guard lock(mu_);
+  RegOffset chosen;
+  if ((flags & SCIF_MAP_FIXED) != 0) {
+    if (offset < 0 || offset % static_cast<RegOffset>(kPageSize) != 0) {
+      return sim::Status::kInvalidArgument;
+    }
+    if (overlaps_locked(offset, len)) return sim::Status::kAlreadyExists;
+    chosen = offset;
+  } else {
+    chosen = next_dynamic_;
+    next_dynamic_ += static_cast<RegOffset>(len);
+  }
+  windows_[chosen] = Window{chosen, len, base, prot, fragmented, 0};
+  return chosen;
+}
+
+sim::Status WindowTable::remove(RegOffset offset, std::size_t len) {
+  std::lock_guard lock(mu_);
+  auto it = windows_.find(offset);
+  if (it == windows_.end() || it->second.len != len) {
+    return sim::Status::kInvalidArgument;
+  }
+  if (it->second.mmap_refs > 0) return sim::Status::kBusy;
+  windows_.erase(it);
+  return sim::Status::kOk;
+}
+
+sim::Expected<std::vector<WindowSpan>> WindowTable::resolve(
+    RegOffset offset, std::size_t len, int required_prot) const {
+  if (len == 0) return std::vector<WindowSpan>{};
+  std::lock_guard lock(mu_);
+  std::vector<WindowSpan> spans;
+  RegOffset cursor = offset;
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    // Find the window containing `cursor`.
+    auto it = windows_.upper_bound(cursor);
+    if (it == windows_.begin()) return sim::Status::kNoSuchEntry;
+    --it;
+    const Window& w = it->second;
+    if (cursor < w.offset ||
+        cursor >= w.offset + static_cast<RegOffset>(w.len)) {
+      return sim::Status::kNoSuchEntry;
+    }
+    if ((w.prot & required_prot) != required_prot) {
+      return sim::Status::kAccessDenied;
+    }
+    const auto within = static_cast<std::size_t>(cursor - w.offset);
+    const std::size_t take = std::min(remaining, w.len - within);
+    spans.push_back(WindowSpan{w.base + within, take, w.fragmented});
+    cursor += static_cast<RegOffset>(take);
+    remaining -= take;
+  }
+  return spans;
+}
+
+sim::Status WindowTable::add_mmap_ref(RegOffset offset) {
+  std::lock_guard lock(mu_);
+  auto it = windows_.upper_bound(offset);
+  if (it == windows_.begin()) return sim::Status::kNoSuchEntry;
+  --it;
+  if (offset >= it->second.offset + static_cast<RegOffset>(it->second.len)) {
+    return sim::Status::kNoSuchEntry;
+  }
+  ++it->second.mmap_refs;
+  return sim::Status::kOk;
+}
+
+sim::Status WindowTable::drop_mmap_ref(RegOffset offset) {
+  std::lock_guard lock(mu_);
+  auto it = windows_.upper_bound(offset);
+  if (it == windows_.begin()) return sim::Status::kNoSuchEntry;
+  --it;
+  if (offset >= it->second.offset + static_cast<RegOffset>(it->second.len) ||
+      it->second.mmap_refs == 0) {
+    return sim::Status::kNoSuchEntry;
+  }
+  --it->second.mmap_refs;
+  return sim::Status::kOk;
+}
+
+std::size_t WindowTable::count() const {
+  std::lock_guard lock(mu_);
+  return windows_.size();
+}
+
+std::size_t WindowTable::total_bytes() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [_, w] : windows_) total += w.len;
+  return total;
+}
+
+bool WindowTable::overlaps_locked(RegOffset offset, std::size_t len) const {
+  const RegOffset end = offset + static_cast<RegOffset>(len);
+  auto it = windows_.lower_bound(offset);
+  if (it != windows_.end() && it->first < end) return true;
+  if (it != windows_.begin()) {
+    --it;
+    if (it->first + static_cast<RegOffset>(it->second.len) > offset) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vphi::scif

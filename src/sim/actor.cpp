@@ -1,0 +1,35 @@
+#include "sim/actor.hpp"
+
+namespace vphi::sim {
+
+namespace {
+thread_local Actor* g_bound = nullptr;
+std::atomic<Nanos> g_watermark{0};
+}  // namespace
+
+Nanos watermark() noexcept {
+  return g_watermark.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void bump_watermark(Nanos t) noexcept {
+  Nanos cur = g_watermark.load(std::memory_order_relaxed);
+  while (cur < t && !g_watermark.compare_exchange_weak(
+                        cur, t, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+Actor& this_actor() noexcept {
+  if (g_bound != nullptr) return *g_bound;
+  thread_local Actor fallback{"detached"};
+  return fallback;
+}
+
+bool has_bound_actor() noexcept { return g_bound != nullptr; }
+
+ActorScope::ActorScope(Actor& a) noexcept : previous_(g_bound) { g_bound = &a; }
+
+ActorScope::~ActorScope() { g_bound = previous_; }
+
+}  // namespace vphi::sim

@@ -1,0 +1,102 @@
+// Actors: per-thread logical clocks.
+//
+// Every thread participating in the simulation (a guest application thread,
+// the QEMU event loop, a backend worker, the card-side COI daemon, ...) owns
+// an Actor. An Actor's `now()` advances when the thread performs modeled work
+// (`advance`) and merges forward when the thread observes an event produced
+// by another actor (`sync_to`): receiving bytes, being woken by an interrupt,
+// a DMA completing. Wall-clock time never enters the model.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace vphi::sim {
+
+/// The latest simulated time any actor in this process has reached. New
+/// actors that represent work starting "now" (benchmark clients, freshly
+/// spawned application threads) should be constructed at the watermark —
+/// an actor starting at 0 would otherwise observe the entire history of
+/// already-running services (card boot, prior requests) as waiting time
+/// the first time it synchronizes with them.
+Nanos watermark() noexcept;
+
+namespace detail {
+void bump_watermark(Nanos t) noexcept;
+}  // namespace detail
+
+class Actor {
+ public:
+  explicit Actor(std::string name = "actor", Nanos start = 0)
+      : name_(std::move(name)), now_(start) {}
+
+  /// Tag type: construct an actor whose timeline begins at the watermark.
+  struct AtNow {};
+  Actor(std::string name, AtNow) : Actor(std::move(name), watermark()) {}
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  /// Current simulated time on this actor's timeline.
+  Nanos now() const noexcept { return now_.load(std::memory_order_relaxed); }
+
+  /// Charge `d` nanoseconds of local work. Returns the new now().
+  Nanos advance(Nanos d) noexcept {
+    const Nanos result = now_.fetch_add(d, std::memory_order_relaxed) + d;
+    detail::bump_watermark(result);
+    return result;
+  }
+
+  /// Merge with an externally observed timestamp: now = max(now, t).
+  /// Returns the new now(). Used when consuming a message/interrupt that
+  /// became visible at simulated time `t`.
+  Nanos sync_to(Nanos t) noexcept {
+    Nanos cur = now_.load(std::memory_order_relaxed);
+    while (cur < t &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+    const Nanos result = now_.load(std::memory_order_relaxed);
+    detail::bump_watermark(result);
+    return result;
+  }
+
+  /// sync_to(t) then advance(extra): observe an event and pay a cost.
+  Nanos sync_and_advance(Nanos t, Nanos extra) noexcept {
+    sync_to(t);
+    return advance(extra);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<Nanos> now_;
+};
+
+/// The actor bound to the calling thread. If none has been bound with
+/// ActorScope, a thread-local default actor (named "detached") is created on
+/// first use so library code can always charge time.
+Actor& this_actor() noexcept;
+
+/// True iff an ActorScope is active on this thread.
+bool has_bound_actor() noexcept;
+
+/// RAII binding of an Actor to the current thread. Scopes nest; the innermost
+/// binding wins. The Actor must outlive the scope.
+class ActorScope {
+ public:
+  explicit ActorScope(Actor& a) noexcept;
+  ~ActorScope();
+
+  ActorScope(const ActorScope&) = delete;
+  ActorScope& operator=(const ActorScope&) = delete;
+
+ private:
+  Actor* previous_;
+};
+
+}  // namespace vphi::sim

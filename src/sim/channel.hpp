@@ -1,0 +1,139 @@
+// Cross-actor synchronization that carries simulated timestamps.
+//
+// Real condition variables provide *functional* blocking between simulator
+// threads; the simulated timestamps attached to every handoff provide the
+// *timing*: a consumer merges its logical clock with the producer's event
+// time, so waiting costs come out of the model, never out of the wall clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace vphi::sim {
+
+/// Unbounded MPMC FIFO of (value, simulated availability time).
+template <typename T>
+class Channel {
+ public:
+  struct Item {
+    T value;
+    Nanos ts;  ///< simulated time the item became visible to consumers
+  };
+
+  /// Make `value` available to consumers at simulated time `ts`.
+  void push(T value, Nanos ts) {
+    {
+      std::lock_guard lock(mu_);
+      items_.push_back(Item{std::move(value), ts});
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until an item is available or the channel is closed.
+  /// Returns nullopt on close-with-empty-queue.
+  std::optional<Item> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<Item> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Wake all poppers; subsequent pops drain remaining items then return
+  /// nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> items_;
+  bool closed_ = false;
+};
+
+/// A one-directional event line (doorbell / interrupt wire). Each raise
+/// carries a timestamp; waiters collect the latest raise time. Counting
+/// semantics: every raise releases exactly one waiter (or is remembered).
+class EventLine {
+ public:
+  /// Signal the line at simulated time `ts`.
+  void raise(Nanos ts) {
+    {
+      std::lock_guard lock(mu_);
+      ++pending_;
+      last_ts_ = std::max(last_ts_, ts);
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until a raise is available (or close); returns the raise
+  /// timestamp, or nullopt if closed with nothing pending.
+  std::optional<Nanos> wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return pending_ > 0 || closed_; });
+    if (pending_ == 0) return std::nullopt;
+    --pending_;
+    return last_ts_;
+  }
+
+  /// Consume a pending raise if any, without blocking.
+  std::optional<Nanos> try_wait() {
+    std::lock_guard lock(mu_);
+    if (pending_ == 0) return std::nullopt;
+    --pending_;
+    return last_ts_;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::uint64_t pending() const {
+    std::lock_guard lock(mu_);
+    return pending_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t pending_ = 0;
+  Nanos last_ts_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace vphi::sim

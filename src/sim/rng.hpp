@@ -1,0 +1,52 @@
+// Deterministic RNG for workload generation and property tests.
+// SplitMix64: tiny, fast, excellent distribution for non-crypto use.
+#pragma once
+
+#include <cstdint>
+
+namespace vphi::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fill `n` bytes with reproducible pseudo-random content.
+  void fill(void* dst, std::size_t n) noexcept {
+    auto* p = static_cast<unsigned char*>(dst);
+    while (n >= 8) {
+      const std::uint64_t v = next();
+      __builtin_memcpy(p, &v, 8);
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      const std::uint64_t v = next();
+      __builtin_memcpy(p, &v, n);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vphi::sim

@@ -1,0 +1,99 @@
+// Measurement containers used by tests and benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vphi::sim {
+
+/// Online mean/min/max/stddev accumulator.
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log2-bucketed latency histogram (ns), with percentile estimation by
+/// linear interpolation within a bucket.
+class Histogram {
+ public:
+  void add(Nanos v) noexcept;
+  std::uint64_t count() const noexcept { return total_; }
+  /// q in [0,1]; returns 0 for an empty histogram.
+  double percentile(double q) const noexcept;
+  double mean() const noexcept { return summary_.mean(); }
+  double max() const noexcept { return summary_.max(); }
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+  Summary summary_;
+};
+
+/// A named (x, y) series — one line of a paper figure.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+};
+
+/// Renders series as an aligned text table (rows = x values, one column per
+/// series), the way the bench binaries print each reproduced figure.
+class FigureTable {
+ public:
+  FigureTable(std::string title, std::string x_label)
+      : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+  void add_series(Series s) { series_.push_back(std::move(s)); }
+  /// Optional extra column computed as series[1]/series[0] etc.
+  void add_ratio_column(std::size_t num, std::size_t den, std::string label);
+  void print(std::ostream& os) const;
+
+ private:
+  struct Ratio {
+    std::size_t num, den;
+    std::string label;
+  };
+  std::string title_;
+  std::string x_label_;
+  std::vector<Series> series_;
+  std::vector<Ratio> ratios_;
+};
+
+/// Pretty-print a byte count ("4 KiB", "64 MiB", "1 B").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace vphi::sim

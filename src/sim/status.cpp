@@ -1,0 +1,35 @@
+#include "sim/status.hpp"
+
+namespace vphi::sim {
+
+std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kBadDescriptor: return "BAD_DESCRIPTOR";
+    case Status::kBadAddress: return "BAD_ADDRESS";
+    case Status::kNoMemory: return "NO_MEMORY";
+    case Status::kAddressInUse: return "ADDRESS_IN_USE";
+    case Status::kConnectionRefused: return "CONNECTION_REFUSED";
+    case Status::kConnectionReset: return "CONNECTION_RESET";
+    case Status::kNotConnected: return "NOT_CONNECTED";
+    case Status::kAlreadyConnected: return "ALREADY_CONNECTED";
+    case Status::kWouldBlock: return "WOULD_BLOCK";
+    case Status::kInterrupted: return "INTERRUPTED";
+    case Status::kTimedOut: return "TIMED_OUT";
+    case Status::kNoDevice: return "NO_DEVICE";
+    case Status::kNoSuchEntry: return "NO_SUCH_ENTRY";
+    case Status::kAccessDenied: return "ACCESS_DENIED";
+    case Status::kNotSupported: return "NOT_SUPPORTED";
+    case Status::kOutOfRange: return "OUT_OF_RANGE";
+    case Status::kAlreadyExists: return "ALREADY_EXISTS";
+    case Status::kNotListening: return "NOT_LISTENING";
+    case Status::kBusy: return "BUSY";
+    case Status::kNoSpace: return "NO_SPACE";
+    case Status::kShutDown: return "SHUT_DOWN";
+    case Status::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace vphi::sim

@@ -1,0 +1,96 @@
+// Error handling for the vPHI stack.
+//
+// The real system reports errors as negative errno values out of libscif and
+// the drivers. We mirror that with a small Status enum (one value per errno
+// the SCIF specification can return) plus an Expected<T> result type, so
+// every layer of the stack can propagate the exact failure the paper's stack
+// would produce, without exceptions on the hot path.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace vphi::sim {
+
+/// Stack-wide error codes. Values mirror the errno set that Intel's SCIF
+/// specification documents for each call, plus a few generic ones.
+enum class Status : int {
+  kOk = 0,
+  kInvalidArgument,   // EINVAL
+  kBadDescriptor,     // EBADF
+  kBadAddress,        // EFAULT
+  kNoMemory,          // ENOMEM
+  kAddressInUse,      // EADDRINUSE
+  kConnectionRefused, // ECONNREFUSED
+  kConnectionReset,   // ECONNRESET
+  kNotConnected,      // ENOTCONN
+  kAlreadyConnected,  // EISCONN
+  kWouldBlock,        // EAGAIN / EWOULDBLOCK
+  kInterrupted,       // EINTR
+  kTimedOut,          // ETIMEDOUT
+  kNoDevice,          // ENODEV
+  kNoSuchEntry,       // ENXIO (bad remote registered offset)
+  kAccessDenied,      // EACCES (protection mismatch on RMA/mmap)
+  kNotSupported,      // EOPNOTSUPP
+  kOutOfRange,        // ERANGE
+  kAlreadyExists,     // EEXIST (SCIF_MAP_FIXED collision)
+  kNotListening,      // EOPNOTSUPP on accept of a non-listening endpoint
+  kBusy,              // EBUSY (unregister with mapped pages / pending RMA)
+  kNoSpace,           // ENOSPC (port space exhausted)
+  kShutDown,          // device or VM torn down under the caller
+  kInternal,          // bug in the simulator itself
+};
+
+/// Human-readable name, e.g. for gtest failure messages and logs.
+std::string_view to_string(Status s) noexcept;
+
+/// True for kOk.
+constexpr bool ok(Status s) noexcept { return s == Status::kOk; }
+
+/// Minimal expected-or-error type (GCC 12 lacks std::expected).
+/// Holds either a value of T or a non-kOk Status.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status error) : rep_(error) {         // NOLINT(google-explicit-constructor)
+    assert(error != Status::kOk && "use a value for success");
+  }
+
+  bool has_value() const noexcept { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  Status status() const noexcept {
+    return has_value() ? Status::kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value or a fallback when this holds an error.
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace vphi::sim

@@ -1,0 +1,38 @@
+// Simulated-time primitives.
+//
+// All performance numbers in this repository are produced on a *virtual*
+// clock, not the wall clock: every thread of execution owns a sim::Actor
+// whose logical `now` advances by calibrated costs (sim::CostModel) as it
+// performs work, and merges forward when it synchronizes with another actor
+// (message arrival, interrupt, DMA completion). This makes every benchmark
+// deterministic and machine-independent while the data path still moves real
+// bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace vphi::sim {
+
+/// Simulated time, in nanoseconds since testbed power-on.
+using Nanos = std::uint64_t;
+
+inline constexpr Nanos kNanosecond = 1;
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+/// Convert simulated nanoseconds to floating-point seconds/micros for
+/// reporting.
+constexpr double to_seconds(Nanos t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_micros(Nanos t) { return static_cast<double>(t) / 1e3; }
+
+/// Duration of moving `bytes` at `bytes_per_second`, rounded up to 1 ns so
+/// that a nonzero transfer always consumes time.
+constexpr Nanos transfer_time(std::uint64_t bytes, double bytes_per_second) {
+  if (bytes == 0 || bytes_per_second <= 0.0) return 0;
+  const double ns = static_cast<double>(bytes) * 1e9 / bytes_per_second;
+  const auto whole = static_cast<Nanos>(ns);
+  return whole == 0 ? 1 : whole;
+}
+
+}  // namespace vphi::sim

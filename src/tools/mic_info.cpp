@@ -1,0 +1,20 @@
+#include "tools/mic_info.hpp"
+
+#include "mic/sysfs.hpp"
+
+namespace vphi::tools {
+
+std::string render_mic_info(scif::Provider& provider) {
+  std::string out;
+  for (std::uint32_t index = 0;; ++index) {
+    auto info = provider.card_info(index);
+    if (!info) break;
+    out += "mic" + std::to_string(index) + ":\n";
+    for (const auto& [key, value] : info->entries()) {
+      out += "  " + key + ": " + value + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace vphi::tools

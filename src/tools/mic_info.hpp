@@ -1,0 +1,21 @@
+// micinfo work-alike: renders the card inventory a provider can see.
+//
+// MPSS ships `micinfo`, which reads the sysfs attributes of every card and
+// prints an inventory; tools and admins use it to sanity-check the stack.
+// Because vPHI forwards the host's sysfs tables into the guest, the same
+// report works from inside a VM — which is itself a meaningful check of
+// the paper's "expose the same information that is provided in the host".
+#pragma once
+
+#include <string>
+
+#include "scif/provider.hpp"
+
+namespace vphi::tools {
+
+/// Render an inventory of all cards visible through `provider`, in
+/// micinfo's "key: value" style with one section per card. Returns an
+/// empty string when no cards are visible.
+std::string render_mic_info(scif::Provider& provider);
+
+}  // namespace vphi::tools

@@ -1,0 +1,57 @@
+// micnativeloadex — the MPSS tool the paper uses for its application
+// experiment (Sec. IV-C).
+//
+// Launches a MIC executable on the coprocessor directly from the host (or,
+// through vPHI, from inside a VM): verifies the card via its sysfs identity,
+// runs the dependency/environment handshake with coi_daemon (a burst of
+// small COI RPCs), streams the binary and its libraries over SCIF, seeds
+// the requested thread count (MIC_OMP_NUM_THREADS), waits for the process
+// to finish and reports per-phase timings — the "total time of execution"
+// Figs. 6-8 plot.
+//
+// The tool is written against scif::Provider, so the identical code runs
+// natively and inside a VM; only the provider differs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coi/binary.hpp"
+#include "coi/process.hpp"
+#include "scif/provider.hpp"
+#include "sim/status.hpp"
+#include "sim/time.hpp"
+
+namespace vphi::tools {
+
+struct LoadexOptions {
+  std::uint32_t card_index = 0;
+  /// MIC_OMP_NUM_THREADS: threads the card process spawns (56/112/224 in
+  /// the paper's sweeps).
+  std::uint32_t threads = 224;
+  std::vector<std::string> args;
+};
+
+struct LoadexResult {
+  int exit_code = 0;
+  std::string output;
+  sim::Nanos handshake_ns = 0;  ///< sysfs probe + control RPCs
+  sim::Nanos transfer_ns = 0;   ///< binary + library streaming
+  sim::Nanos exec_ns = 0;       ///< card-side run until exit
+  sim::Nanos total_ns = 0;      ///< client-observed end-to-end time
+};
+
+class MicNativeLoadEx {
+ public:
+  explicit MicNativeLoadEx(scif::Provider& provider) : provider_(&provider) {}
+
+  /// Run `image` on the card in native mode and wait for completion.
+  sim::Expected<LoadexResult> run(const coi::BinaryImage& image,
+                                  const LoadexOptions& options);
+
+ private:
+  scif::Provider* provider_;
+};
+
+}  // namespace vphi::tools

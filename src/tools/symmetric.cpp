@@ -1,0 +1,181 @@
+#include "tools/symmetric.hpp"
+
+#include <barrier>
+#include <cstring>
+#include <thread>
+
+#include "scif/types.hpp"
+#include "sim/actor.hpp"
+
+namespace vphi::tools::symm {
+
+int Rank::size() const noexcept { return world_->size(); }
+
+sim::Expected<int> Rank::epd_for(int peer) {
+  auto it = epds_.find(peer);
+  if (it == epds_.end()) return sim::Status::kNotConnected;
+  return it->second;
+}
+
+sim::Status Rank::send(int dst, const void* buf, std::size_t len) {
+  if (dst == rank_ || dst < 0 || dst >= size()) {
+    return sim::Status::kInvalidArgument;
+  }
+  auto epd = epd_for(dst);
+  if (!epd) return epd.status();
+  auto sent = world_->ranks_[static_cast<std::size_t>(rank_)].provider->send(
+      *epd, buf, len, scif::SCIF_SEND_BLOCK);
+  if (!sent) return sent.status();
+  return *sent == len ? sim::Status::kOk : sim::Status::kConnectionReset;
+}
+
+sim::Status Rank::recv(int src, void* buf, std::size_t len) {
+  if (src == rank_ || src < 0 || src >= size()) {
+    return sim::Status::kInvalidArgument;
+  }
+  auto epd = epd_for(src);
+  if (!epd) return epd.status();
+  auto got = world_->ranks_[static_cast<std::size_t>(rank_)].provider->recv(
+      *epd, buf, len, scif::SCIF_RECV_BLOCK);
+  if (!got) return got.status();
+  return *got == len ? sim::Status::kOk : sim::Status::kConnectionReset;
+}
+
+sim::Status Rank::barrier() {
+  std::uint8_t token = 0;
+  if (rank_ == 0) {
+    for (int peer = 1; peer < size(); ++peer) {
+      const auto s = recv(peer, &token, 1);
+      if (!sim::ok(s)) return s;
+    }
+    for (int peer = 1; peer < size(); ++peer) {
+      const auto s = send(peer, &token, 1);
+      if (!sim::ok(s)) return s;
+    }
+    return sim::Status::kOk;
+  }
+  auto s = send(0, &token, 1);
+  if (!sim::ok(s)) return s;
+  return recv(0, &token, 1);
+}
+
+sim::Status Rank::broadcast(int root, void* buf, std::size_t len) {
+  if (root < 0 || root >= size()) return sim::Status::kInvalidArgument;
+  if (rank_ == root) {
+    for (int peer = 0; peer < size(); ++peer) {
+      if (peer == root) continue;
+      const auto s = send(peer, buf, len);
+      if (!sim::ok(s)) return s;
+    }
+    return sim::Status::kOk;
+  }
+  return recv(root, buf, len);
+}
+
+sim::Status Rank::allreduce_sum(double* values, std::size_t count) {
+  const std::size_t bytes = count * sizeof(double);
+  if (rank_ == 0) {
+    std::vector<double> incoming(count);
+    for (int peer = 1; peer < size(); ++peer) {
+      const auto s = recv(peer, incoming.data(), bytes);
+      if (!sim::ok(s)) return s;
+      for (std::size_t i = 0; i < count; ++i) values[i] += incoming[i];
+    }
+  } else {
+    const auto s = send(0, values, bytes);
+    if (!sim::ok(s)) return s;
+  }
+  return broadcast(0, values, bytes);
+}
+
+World::World(std::vector<RankSpec> ranks, scif::Port base_port)
+    : ranks_(std::move(ranks)), base_port_(base_port) {}
+
+sim::Status World::run(const std::function<sim::Status(Rank&)>& body) {
+  const int n = size();
+  if (n == 0) return sim::Status::kInvalidArgument;
+
+  // Resolve each rank's SCIF node up front (a guest rank's listener really
+  // lives on the host node — its backend's process identity).
+  std::vector<scif::NodeId> nodes(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto ids = ranks_[static_cast<std::size_t>(i)].provider->get_node_ids();
+    if (!ids) return ids.status();
+    nodes[static_cast<std::size_t>(i)] = ids->self;
+  }
+
+  std::barrier sync(n);
+  std::vector<sim::Status> results(static_cast<std::size_t>(n),
+                                   sim::Status::kOk);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      auto& spec = ranks_[static_cast<std::size_t>(i)];
+      sim::Actor actor{spec.name, sim::Actor::AtNow{}};
+      sim::ActorScope scope(actor);
+      auto& p = *spec.provider;
+      Rank rank{*this, i};
+      auto fail = [&](sim::Status s) {
+        results[static_cast<std::size_t>(i)] = s;
+        sync.arrive_and_drop();
+      };
+
+      // Phase 1: every rank listens on base_port + rank.
+      auto listener = p.open();
+      if (!listener) return fail(listener.status());
+      if (!p.bind(*listener, static_cast<scif::Port>(base_port_ + i))) {
+        return fail(sim::Status::kAddressInUse);
+      }
+      const auto listening = p.listen(*listener, n);
+      if (!sim::ok(listening)) return fail(listening);
+      sync.arrive_and_wait();
+
+      // Phase 2: rank i dials every lower rank and introduces itself;
+      // every rank accepts one connection per higher rank.
+      for (int peer = 0; peer < i; ++peer) {
+        auto epd = p.open();
+        if (!epd) return fail(epd.status());
+        const auto connected = p.connect(
+            *epd, scif::PortId{nodes[static_cast<std::size_t>(peer)],
+                               static_cast<scif::Port>(base_port_ + peer)});
+        if (!sim::ok(connected)) return fail(connected);
+        const std::int32_t my_id = i;
+        if (!p.send(*epd, &my_id, sizeof(my_id), scif::SCIF_SEND_BLOCK)) {
+          return fail(sim::Status::kConnectionReset);
+        }
+        rank.epds_[peer] = *epd;
+      }
+      for (int incoming = i + 1; incoming < n; ++incoming) {
+        auto conn = p.accept(*listener, scif::SCIF_ACCEPT_SYNC);
+        if (!conn) return fail(conn.status());
+        std::int32_t peer_id = -1;
+        if (!p.recv(conn->epd, &peer_id, sizeof(peer_id),
+                    scif::SCIF_RECV_BLOCK)) {
+          return fail(sim::Status::kConnectionReset);
+        }
+        if (peer_id <= i || peer_id >= n) {
+          return fail(sim::Status::kInternal);
+        }
+        rank.epds_[peer_id] = conn->epd;
+      }
+      sync.arrive_and_wait();
+
+      // Phase 3: user code.
+      results[static_cast<std::size_t>(i)] = body(rank);
+
+      // Teardown.
+      for (auto& [_, epd] : rank.epds_) p.close(epd);
+      p.close(*listener);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto s : results) {
+    if (!sim::ok(s)) return s;
+  }
+  return sim::Status::kOk;
+}
+
+}  // namespace vphi::tools::symm

@@ -1,0 +1,158 @@
+#include "virtio/ring.hpp"
+
+#include <cassert>
+
+namespace vphi::virtio {
+
+namespace {
+bool is_pow2(std::uint16_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Virtqueue::Virtqueue(std::uint16_t size, MemTranslate translate)
+    : size_(size), translate_(std::move(translate)) {
+  // Virtio mandates power-of-two queue sizes; a violation is a programming
+  // error, not a recoverable condition.
+  if (!is_pow2(size)) std::abort();
+  table_.resize(size_);
+  avail_ring_.resize(size_);
+  used_ring_.resize(size_);
+  // Chain all descriptors into the free list.
+  for (std::uint16_t i = 0; i < size_; ++i) {
+    table_[i].next = static_cast<std::uint16_t>(i + 1);
+  }
+  free_head_ = 0;
+  num_free_ = size_;
+}
+
+sim::Expected<std::uint16_t> Virtqueue::alloc_desc_locked() {
+  if (num_free_ == 0) return sim::Status::kNoSpace;
+  const std::uint16_t d = free_head_;
+  free_head_ = table_[d].next;
+  --num_free_;
+  return d;
+}
+
+void Virtqueue::free_chain_locked(std::uint16_t head) {
+  std::uint16_t d = head;
+  for (;;) {
+    const bool has_next = (table_[d].flags & VIRTQ_DESC_F_NEXT) != 0;
+    const std::uint16_t next = table_[d].next;
+    table_[d] = Desc{};
+    table_[d].next = free_head_;
+    free_head_ = d;
+    ++num_free_;
+    if (!has_next) break;
+    d = next;
+  }
+}
+
+sim::Expected<std::uint16_t> Virtqueue::add_buf(std::span<const BufferRef> out,
+                                                std::span<const BufferRef> in) {
+  const std::size_t total = out.size() + in.size();
+  if (total == 0) return sim::Status::kInvalidArgument;
+  std::lock_guard lock(mu_);
+  if (total > num_free_) return sim::Status::kNoSpace;
+
+  std::uint16_t head = 0;
+  std::uint16_t prev = 0;
+  bool first = true;
+  auto link = [&](const BufferRef& ref, bool write) {
+    auto d = alloc_desc_locked();
+    assert(d.has_value());  // reserved by the num_free_ check
+    table_[*d].addr = ref.gpa;
+    table_[*d].len = ref.len;
+    table_[*d].flags = write ? VIRTQ_DESC_F_WRITE : std::uint16_t{0};
+    if (first) {
+      head = *d;
+      first = false;
+    } else {
+      table_[prev].flags |= VIRTQ_DESC_F_NEXT;
+      table_[prev].next = *d;
+    }
+    prev = *d;
+  };
+  for (const auto& ref : out) link(ref, false);
+  for (const auto& ref : in) link(ref, true);
+
+  avail_ring_[avail_idx_ % size_] = head;
+  ++avail_idx_;
+  return head;
+}
+
+void Virtqueue::kick(sim::Nanos visible_ts) {
+  {
+    std::lock_guard lock(mu_);
+    ++kick_count_;
+  }
+  avail_event_.raise(visible_ts);
+}
+
+std::optional<UsedElem> Virtqueue::get_used() {
+  std::lock_guard lock(mu_);
+  if (used_consumed_ == used_idx_) return std::nullopt;
+  UsedElem elem = used_ring_[used_consumed_ % size_];
+  ++used_consumed_;
+  free_chain_locked(static_cast<std::uint16_t>(elem.id));
+  return elem;
+}
+
+std::optional<Chain> Virtqueue::pop_avail() {
+  const auto kick_ts = avail_event_.wait();
+  if (!kick_ts) return std::nullopt;
+  auto chain = try_pop_avail();
+  if (chain) chain->kick_ts = std::max(chain->kick_ts, *kick_ts);
+  return chain;
+}
+
+std::optional<Chain> Virtqueue::try_pop_avail() {
+  std::lock_guard lock(mu_);
+  if (avail_consumed_ == avail_idx_) return std::nullopt;
+  const std::uint16_t head = avail_ring_[avail_consumed_ % size_];
+  ++avail_consumed_;
+
+  Chain chain;
+  chain.head = head;
+  std::uint16_t d = head;
+  for (;;) {
+    const Desc& desc = table_[d];
+    void* ptr = translate_ ? translate_(desc.addr, desc.len) : nullptr;
+    chain.segments.push_back(
+        Chain::Segment{ptr, desc.len, (desc.flags & VIRTQ_DESC_F_WRITE) != 0});
+    if ((desc.flags & VIRTQ_DESC_F_NEXT) == 0) break;
+    d = desc.next;
+  }
+  return chain;
+}
+
+sim::Status Virtqueue::push_used(std::uint16_t head, std::uint32_t written,
+                                 sim::Nanos done_ts) {
+  std::lock_guard lock(mu_);
+  if (head >= size_) return sim::Status::kInvalidArgument;
+  used_ring_[used_idx_ % size_] = UsedElem{head, written, done_ts};
+  ++used_idx_;
+  return sim::Status::kOk;
+}
+
+void Virtqueue::shutdown() { avail_event_.close(); }
+
+std::uint16_t Virtqueue::free_descriptors() const {
+  std::lock_guard lock(mu_);
+  return num_free_;
+}
+
+std::uint16_t Virtqueue::avail_idx() const {
+  std::lock_guard lock(mu_);
+  return avail_idx_;
+}
+
+std::uint16_t Virtqueue::used_idx() const {
+  std::lock_guard lock(mu_);
+  return used_idx_;
+}
+
+std::uint64_t Virtqueue::kicks() const {
+  std::lock_guard lock(mu_);
+  return kick_count_;
+}
+
+}  // namespace vphi::virtio

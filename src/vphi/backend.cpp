@@ -1,0 +1,433 @@
+#include "vphi/backend.hpp"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mic/sysfs.hpp"
+#include "sim/actor.hpp"
+
+namespace vphi::core {
+
+// --- policy -----------------------------------------------------------------
+
+BackendPolicy::Classifier BackendPolicy::paper_default() {
+  return [](Op op, std::uint32_t) {
+    switch (op) {
+      case Op::kAccept:
+        // "We implement scif_accept() in a non-blocking way, since we do
+        // not know beforehand when a corresponding scif_connect() request
+        // will arrive." (Sec. III)
+        return ExecMode::kWorker;
+      case Op::kPoll:
+        // Same rationale: a blocking poll's horizon is unknown.
+        return ExecMode::kWorker;
+      default:
+        return ExecMode::kBlocking;
+    }
+  };
+}
+
+BackendPolicy::Classifier BackendPolicy::all_blocking() {
+  return [](Op, std::uint32_t) { return ExecMode::kBlocking; };
+}
+
+BackendPolicy::Classifier BackendPolicy::all_worker() {
+  return [](Op, std::uint32_t) { return ExecMode::kWorker; };
+}
+
+BackendPolicy::Classifier BackendPolicy::hybrid(std::uint32_t threshold) {
+  return [threshold](Op op, std::uint32_t payload_len) {
+    if (op == Op::kAccept) return ExecMode::kWorker;
+    const bool is_transfer = op == Op::kSend || op == Op::kRecv ||
+                             op == Op::kReadfrom || op == Op::kWriteto ||
+                             op == Op::kVreadfrom || op == Op::kVwriteto;
+    if (is_transfer && payload_len >= threshold) return ExecMode::kWorker;
+    return ExecMode::kBlocking;
+  };
+}
+
+// --- lifecycle -----------------------------------------------------------------
+
+BackendDevice::BackendDevice(hv::Vm& vm, scif::Fabric& fabric,
+                             BackendPolicy policy)
+    : vm_(&vm),
+      fabric_(&fabric),
+      policy_(std::move(policy)),
+      provider_(std::make_unique<scif::HostProvider>(fabric,
+                                                     scif::kHostNode)) {}
+
+BackendDevice::~BackendDevice() { stop(); }
+
+void BackendDevice::start() {
+  if (running_.exchange(true)) return;
+  service_thread_ = std::thread([this] { service_loop(); });
+}
+
+void BackendDevice::stop() {
+  if (!running_.exchange(false)) return;
+  vm_->vq().shutdown();
+  if (service_thread_.joinable()) service_thread_.join();
+  // Close every host endpoint FIRST: a blocking recv handler may be
+  // holding the QEMU event loop (and workers may be parked in accept or
+  // poll); the close resets their endpoints and wakes them so the drain
+  // below can complete.
+  provider_->close_all();
+  vm_->qemu().drain();
+  vm_->qemu().join_workers();
+}
+
+void BackendDevice::service_loop() {
+  sim::Actor service_actor{vm_->name() + "-vphi-be"};
+  sim::ActorScope scope(service_actor);
+  while (running_.load(std::memory_order_relaxed)) {
+    auto chain = vm_->vq().pop_avail();
+    if (!chain) break;  // ring shut down
+    if (chain->segments.empty() || chain->segments[0].ptr == nullptr ||
+        chain->segments[0].len < sizeof(RequestHeader)) {
+      // Malformed chain: complete with an error if we can, else drop.
+      vm_->vq().push_used(chain->head, 0, chain->kick_ts);
+      vm_->inject_irq(chain->kick_ts);
+      continue;
+    }
+    RequestHeader req;
+    std::memcpy(&req, chain->segments[0].ptr, sizeof(RequestHeader));
+
+    const ExecMode mode = policy_.classify(req.op, req.payload_len);
+    {
+      std::lock_guard lock(mu_);
+      ++op_counts_[req.op];
+      if (mode == ExecMode::kWorker) {
+        ++worker_requests_;
+      } else {
+        ++blocking_requests_;
+      }
+    }
+
+    auto work = [this, chain = *chain](sim::Actor& actor) {
+      process_chain(actor, chain);
+    };
+    if (mode == ExecMode::kWorker) {
+      // Worker handoff: the loop spends a moment spawning/dispatching, the
+      // worker starts once the handoff is visible.
+      vm_->qemu().run_in_worker(std::move(work),
+                                chain->kick_ts + vm_->model().worker_handoff_ns);
+    } else {
+      vm_->qemu().post(std::move(work));
+    }
+  }
+}
+
+void BackendDevice::process_chain(sim::Actor& actor,
+                                  const virtio::Chain& chain) {
+  const auto& m = vm_->model();
+  actor.sync_and_advance(chain.kick_ts, m.be_dispatch_ns);
+
+  RequestHeader req;
+  std::memcpy(&req, chain.segments[0].ptr, sizeof(RequestHeader));
+
+  // Locate the optional payload segments around the two headers.
+  const void* out_payload = nullptr;
+  void* resp_ptr = nullptr;
+  void* in_payload = nullptr;
+  std::uint32_t in_capacity = 0;
+  for (std::size_t i = 1; i < chain.segments.size(); ++i) {
+    const auto& seg = chain.segments[i];
+    if (!seg.device_writes) {
+      out_payload = seg.ptr;
+    } else if (resp_ptr == nullptr) {
+      resp_ptr = seg.ptr;
+    } else {
+      in_payload = seg.ptr;
+      in_capacity = seg.len;
+    }
+  }
+
+  ResponseHeader resp;
+  if (resp_ptr == nullptr) {
+    // No way to answer; just recycle the chain.
+    vm_->vq().push_used(chain.head, 0, actor.now());
+    vm_->inject_irq(actor.now());
+    return;
+  }
+  if (req.payload_len > 0 && out_payload == nullptr) {
+    set_status(resp, sim::Status::kBadAddress);
+  } else {
+    execute(actor, req, out_payload, in_payload, in_capacity, resp);
+  }
+
+  std::memcpy(resp_ptr, &resp, sizeof(ResponseHeader));
+  actor.advance(m.be_complete_ns);
+  vm_->vq().push_used(chain.head,
+                      static_cast<std::uint32_t>(sizeof(ResponseHeader)) +
+                          resp.payload_len,
+                      actor.now());
+  vm_->inject_irq(actor.now());
+}
+
+void BackendDevice::execute(sim::Actor& actor, const RequestHeader& req,
+                            const void* out_payload, void* in_payload,
+                            std::uint32_t in_capacity, ResponseHeader& resp) {
+  (void)actor;  // provider calls charge sim::this_actor(), which is `actor`
+  auto& p = *provider_;
+  set_status(resp, sim::Status::kOk);
+
+  switch (req.op) {
+    case Op::kOpen: {
+      auto epd = p.open();
+      if (!epd) {
+        set_status(resp, epd.status());
+        return;
+      }
+      resp.ret0 = *epd;
+      return;
+    }
+    case Op::kClose:
+      set_status(resp, p.close(req.epd));
+      return;
+    case Op::kBind: {
+      auto port = p.bind(req.epd, static_cast<scif::Port>(req.arg0));
+      if (!port) {
+        set_status(resp, port.status());
+        return;
+      }
+      resp.ret0 = *port;
+      return;
+    }
+    case Op::kListen:
+      set_status(resp, p.listen(req.epd, static_cast<int>(req.arg0)));
+      return;
+    case Op::kConnect:
+      set_status(resp,
+                 p.connect(req.epd,
+                           scif::PortId{static_cast<scif::NodeId>(req.arg0),
+                                        static_cast<scif::Port>(req.arg1)}));
+      return;
+    case Op::kAccept: {
+      auto result = p.accept(req.epd, req.flags);
+      if (!result) {
+        set_status(resp, result.status());
+        return;
+      }
+      resp.ret0 = result->epd;
+      resp.ret1 = (static_cast<std::int64_t>(result->peer.node) << 16) |
+                  result->peer.port;
+      return;
+    }
+    case Op::kSend: {
+      auto sent = p.send(req.epd, out_payload, req.payload_len, req.flags);
+      if (!sent) {
+        set_status(resp, sent.status());
+        return;
+      }
+      resp.ret0 = static_cast<std::int64_t>(*sent);
+      return;
+    }
+    case Op::kRecv: {
+      // arg0 = requested length (bounded by the writable segment).
+      const auto want = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(req.arg0, in_capacity));
+      auto got = p.recv(req.epd, in_payload, want, req.flags);
+      if (!got) {
+        set_status(resp, got.status());
+        return;
+      }
+      resp.ret0 = static_cast<std::int64_t>(*got);
+      resp.payload_len = static_cast<std::uint32_t>(*got);
+      return;
+    }
+    case Op::kRegister: {
+      // arg0 = guest-physical address of the pinned range, arg1 = len,
+      // arg2 = requested offset, arg3 = prot.
+      void* hva = vm_->ram().translate(req.arg0, req.arg1);
+      if (hva == nullptr) {
+        set_status(resp, sim::Status::kBadAddress);
+        return;
+      }
+      auto off = p.register_guest_mem(
+          req.epd, hva, req.arg1, static_cast<scif::RegOffset>(req.arg2),
+          static_cast<int>(req.arg3), req.flags);
+      if (!off) {
+        set_status(resp, off.status());
+        return;
+      }
+      resp.ret0 = *off;
+      return;
+    }
+    case Op::kUnregister:
+      set_status(resp,
+                 p.unregister_mem(req.epd,
+                                  static_cast<scif::RegOffset>(req.arg0),
+                                  req.arg1));
+      return;
+    case Op::kReadfrom:
+      set_status(resp, p.readfrom(req.epd,
+                                  static_cast<scif::RegOffset>(req.arg0),
+                                  req.arg1,
+                                  static_cast<scif::RegOffset>(req.arg2),
+                                  req.flags));
+      return;
+    case Op::kWriteto:
+      set_status(resp, p.writeto(req.epd,
+                                 static_cast<scif::RegOffset>(req.arg0),
+                                 req.arg1,
+                                 static_cast<scif::RegOffset>(req.arg2),
+                                 req.flags));
+      return;
+    case Op::kVreadfrom: {
+      void* hva = vm_->ram().translate(req.arg0, req.arg1);
+      if (hva == nullptr) {
+        set_status(resp, sim::Status::kBadAddress);
+        return;
+      }
+      set_status(resp, p.vreadfrom_guest(req.epd, hva, req.arg1,
+                                         static_cast<scif::RegOffset>(req.arg2),
+                                         req.flags));
+      return;
+    }
+    case Op::kVwriteto: {
+      void* hva = vm_->ram().translate(req.arg0, req.arg1);
+      if (hva == nullptr) {
+        set_status(resp, sim::Status::kBadAddress);
+        return;
+      }
+      set_status(resp, p.vwriteto_guest(req.epd, hva, req.arg1,
+                                        static_cast<scif::RegOffset>(req.arg2),
+                                        req.flags));
+      return;
+    }
+    case Op::kMmap: {
+      // arg0 = remote offset, arg1 = len, arg2 = prot.
+      auto mapping = p.mmap(req.epd, static_cast<scif::RegOffset>(req.arg0),
+                            req.arg1, static_cast<int>(req.arg2));
+      if (!mapping) {
+        set_status(resp, mapping.status());
+        return;
+      }
+      std::lock_guard lock(map_mu_);
+      const std::uint64_t cookie = next_map_cookie_++;
+      resp.ret0 = static_cast<std::int64_t>(cookie);
+      // The "stored physical frame number" of the paper's kvm patch: the
+      // host-physical base of the device region, handed to the frontend so
+      // it can tag the guest vma (VM_PFNPHI) with it.
+      resp.ret1 = static_cast<std::int64_t>(
+          reinterpret_cast<std::uintptr_t>(mapping->data));
+      live_mappings_[cookie] = *mapping;
+      return;
+    }
+    case Op::kMunmap: {
+      std::lock_guard lock(map_mu_);
+      auto it = live_mappings_.find(req.arg0);
+      if (it == live_mappings_.end()) {
+        set_status(resp, sim::Status::kInvalidArgument);
+        return;
+      }
+      set_status(resp, p.munmap(it->second));
+      live_mappings_.erase(it);
+      return;
+    }
+    case Op::kFenceMark: {
+      auto mark = p.fence_mark(req.epd, req.flags);
+      if (!mark) {
+        set_status(resp, mark.status());
+        return;
+      }
+      resp.ret0 = *mark;
+      return;
+    }
+    case Op::kFenceWait:
+      set_status(resp, p.fence_wait(req.epd, static_cast<int>(req.arg0)));
+      return;
+    case Op::kFenceSignal:
+      set_status(resp, p.fence_signal(req.epd,
+                                      static_cast<scif::RegOffset>(req.arg0),
+                                      req.arg1,
+                                      static_cast<scif::RegOffset>(req.arg2),
+                                      req.arg3, req.flags));
+      return;
+    case Op::kPoll: {
+      // Out payload: PollEpd[n]; arg0 = n, arg1 = timeout_ms (int64).
+      // In payload: the PollEpd array with revents filled.
+      const auto n = static_cast<int>(req.arg0);
+      const std::size_t bytes = sizeof(scif::PollEpd) * static_cast<std::size_t>(n);
+      if (n <= 0 || out_payload == nullptr || req.payload_len < bytes ||
+          in_capacity < bytes || in_payload == nullptr) {
+        set_status(resp, sim::Status::kInvalidArgument);
+        return;
+      }
+      std::vector<scif::PollEpd> epds(static_cast<std::size_t>(n));
+      std::memcpy(epds.data(), out_payload, bytes);
+      auto ready = p.poll(epds.data(), n, static_cast<int>(
+                                              static_cast<std::int64_t>(req.arg1)));
+      if (!ready) {
+        set_status(resp, ready.status());
+        return;
+      }
+      std::memcpy(in_payload, epds.data(), bytes);
+      resp.ret0 = *ready;
+      resp.payload_len = static_cast<std::uint32_t>(bytes);
+      return;
+    }
+    case Op::kGetNodeIds: {
+      auto ids = p.get_node_ids();
+      if (!ids) {
+        set_status(resp, ids.status());
+        return;
+      }
+      resp.ret0 = ids->total;
+      resp.ret1 = ids->self;
+      return;
+    }
+    case Op::kCardInfo: {
+      // arg0 = card index; response payload = "key=value\n" table, the
+      // sysfs forwarding micnativeloadex relies on (Sec. III).
+      auto info = p.card_info(static_cast<std::uint32_t>(req.arg0));
+      if (!info) {
+        set_status(resp, info.status());
+        return;
+      }
+      std::string blob;
+      for (const auto& [k, v] : info->entries()) {
+        blob += k;
+        blob += '=';
+        blob += v;
+        blob += '\n';
+      }
+      if (blob.size() > in_capacity || in_payload == nullptr) {
+        set_status(resp, sim::Status::kNoSpace);
+        return;
+      }
+      std::memcpy(in_payload, blob.data(), blob.size());
+      resp.payload_len = static_cast<std::uint32_t>(blob.size());
+      return;
+    }
+  }
+  set_status(resp, sim::Status::kNotSupported);
+}
+
+// --- statistics ------------------------------------------------------------------
+
+std::uint64_t BackendDevice::requests_handled() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, n] : op_counts_) total += n;
+  return total;
+}
+
+std::uint64_t BackendDevice::worker_requests() const {
+  std::lock_guard lock(mu_);
+  return worker_requests_;
+}
+
+std::uint64_t BackendDevice::blocking_requests() const {
+  std::lock_guard lock(mu_);
+  return blocking_requests_;
+}
+
+std::uint64_t BackendDevice::op_count(Op op) const {
+  std::lock_guard lock(mu_);
+  auto it = op_counts_.find(op);
+  return it == op_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace vphi::core

@@ -1,0 +1,260 @@
+#include "vphi/frontend.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "virtio/device.hpp"
+#include "virtio/ring.hpp"
+
+namespace vphi::core {
+
+namespace {
+/// RAII for kmalloc'd guest buffers.
+class KmallocGuard {
+ public:
+  KmallocGuard() = default;
+  KmallocGuard(hv::GuestPhysMem& ram, std::uint64_t gpa) : ram_(&ram), gpa_(gpa) {}
+  ~KmallocGuard() {
+    if (ram_ != nullptr) ram_->kfree(gpa_);
+  }
+  KmallocGuard(KmallocGuard&& other) noexcept
+      : ram_(other.ram_), gpa_(other.gpa_) {
+    other.ram_ = nullptr;
+  }
+  KmallocGuard& operator=(KmallocGuard&& other) noexcept {
+    if (this != &other) {
+      if (ram_ != nullptr) ram_->kfree(gpa_);
+      ram_ = other.ram_;
+      gpa_ = other.gpa_;
+      other.ram_ = nullptr;
+    }
+    return *this;
+  }
+  std::uint64_t gpa() const noexcept { return gpa_; }
+
+ private:
+  hv::GuestPhysMem* ram_ = nullptr;
+  std::uint64_t gpa_ = 0;
+};
+}  // namespace
+
+const char* wait_scheme_name(WaitScheme scheme) noexcept {
+  switch (scheme) {
+    case WaitScheme::kInterrupt: return "interrupt";
+    case WaitScheme::kPolling: return "polling";
+    case WaitScheme::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+FrontendDriver::FrontendDriver(hv::Vm& vm, Config config)
+    : vm_(&vm), config_(config) {}
+
+FrontendDriver::~FrontendDriver() {
+  if (probed_) vm_->set_irq_handler(nullptr);
+}
+
+sim::Status FrontendDriver::probe() {
+  auto& status = vm_->device_status();
+  status.set(virtio::VIRTIO_STATUS_ACKNOWLEDGE);
+  status.set(virtio::VIRTIO_STATUS_DRIVER);
+  const std::uint64_t wanted = virtio::VIRTIO_F_VERSION_1 |
+                               virtio::VPHI_F_SCIF | virtio::VPHI_F_MMAP_PFN |
+                               virtio::VPHI_F_SYSFS_INFO;
+  if (!status.negotiate(wanted & status.offered_features())) {
+    return sim::Status::kNoDevice;
+  }
+  status.set(virtio::VIRTIO_STATUS_DRIVER_OK);
+  vm_->set_irq_handler([this](sim::Nanos irq_ts) { on_irq(irq_ts); });
+  probed_ = true;
+  return sim::Status::kOk;
+}
+
+bool FrontendDriver::use_polling(std::size_t payload) const {
+  switch (config_.scheme) {
+    case WaitScheme::kInterrupt: return false;
+    case WaitScheme::kPolling: return true;
+    case WaitScheme::kHybrid: return payload < config_.hybrid_threshold;
+  }
+  return false;
+}
+
+void FrontendDriver::drain_used(sim::Nanos ts_floor) {
+  while (auto used = vm_->vq().get_used()) {
+    std::lock_guard lock(mu_);
+    auto it = pending_.find(static_cast<std::uint16_t>(used->id));
+    if (it == pending_.end()) continue;  // stale/cancelled request
+    it->second.completed = true;
+    it->second.done_ts = std::max(used->ts, ts_floor);
+    it->second.written = used->len;
+    if (it->second.interrupt_wait) {
+      vm_->kernel().waitq().complete(it->second.ticket, it->second.done_ts);
+    }
+  }
+}
+
+void FrontendDriver::on_irq(sim::Nanos irq_ts) { drain_used(irq_ts); }
+
+sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
+    sim::Actor& actor, const TransactArgs& args) {
+  if (!probed_) return sim::Status::kNoDevice;
+  if (args.out_len > chunk_size() || args.in_len > chunk_size()) {
+    return sim::Status::kInvalidArgument;
+  }
+  const auto& m = vm_->model();
+  auto& ram = vm_->ram();
+
+  actor.advance(m.fe_prepare_ns);
+
+  // Stage the request header (+ outbound payload) in kmalloc'd memory.
+  auto req_gpa = ram.kmalloc(sizeof(RequestHeader));
+  if (!req_gpa) return req_gpa.status();
+  KmallocGuard req_guard{ram, *req_gpa};
+  RequestHeader header = args.header;
+  header.payload_len = static_cast<std::uint32_t>(args.out_len);
+  std::memcpy(ram.translate(*req_gpa, sizeof(RequestHeader)), &header,
+              sizeof(RequestHeader));
+
+  KmallocGuard out_guard;
+  std::uint64_t out_gpa = 0;
+  // The header copy plus (for the send/write path) the user data copy into
+  // the bounce buffer — copy 3i of the paper's Fig. 3.
+  actor.advance(m.fe_copy_fixed_ns +
+                sim::transfer_time(args.out_len, m.guest_memcpy_Bps));
+  if (args.out_len > 0) {
+    auto gpa = ram.kmalloc(args.out_len);
+    if (!gpa) return gpa.status();
+    out_gpa = *gpa;
+    out_guard = KmallocGuard{ram, out_gpa};
+    std::memcpy(ram.translate(out_gpa, args.out_len), args.out_payload,
+                args.out_len);
+  }
+
+  // Response header + inbound bounce buffer.
+  auto resp_gpa = ram.kmalloc(sizeof(ResponseHeader));
+  if (!resp_gpa) return resp_gpa.status();
+  KmallocGuard resp_guard{ram, *resp_gpa};
+  KmallocGuard in_guard;
+  std::uint64_t in_gpa = 0;
+  if (args.in_len > 0) {
+    auto gpa = ram.kmalloc(args.in_len);
+    if (!gpa) return gpa.status();
+    in_gpa = *gpa;
+    in_guard = KmallocGuard{ram, in_gpa};
+  }
+
+  // Build and post the chain.
+  virtio::BufferRef out_refs[2] = {
+      {*req_gpa, static_cast<std::uint32_t>(sizeof(RequestHeader))},
+      {out_gpa, static_cast<std::uint32_t>(args.out_len)},
+  };
+  virtio::BufferRef in_refs[2] = {
+      {*resp_gpa, static_cast<std::uint32_t>(sizeof(ResponseHeader))},
+      {in_gpa, static_cast<std::uint32_t>(args.in_len)},
+  };
+  const std::size_t n_out = args.out_len > 0 ? 2 : 1;
+  const std::size_t n_in = args.in_len > 0 ? 2 : 1;
+
+  const bool polling =
+      use_polling(std::max(args.out_len, args.in_len));
+  std::uint64_t ticket = 0;
+  if (!polling) ticket = vm_->kernel().waitq().prepare();
+
+  std::uint16_t head;
+  {
+    auto posted = vm_->vq().add_buf({out_refs, n_out}, {in_refs, n_in});
+    if (!posted) return posted.status();
+    head = *posted;
+    std::lock_guard lock(mu_);
+    pending_[head] = Pending{ticket, !polling, false, 0, 0};
+    ++requests_;
+  }
+
+  actor.advance(m.virtio_enqueue_ns);
+  const sim::Nanos kick_ts = vm_->kick_cost(actor);
+  vm_->vq().kick(kick_ts);
+
+  // --- wait for completion per scheme ---------------------------------------
+  std::uint32_t resp_written = 0;
+  if (!polling) {
+    {
+      std::lock_guard lock(mu_);
+      ++interrupt_waits_;
+    }
+    const auto waited = vm_->kernel().waitq().wait(ticket, actor);
+    if (!sim::ok(waited)) {
+      std::lock_guard lock(mu_);
+      pending_.erase(head);
+      return waited;
+    }
+    std::lock_guard lock(mu_);
+    resp_written = pending_[head].written;
+    pending_.erase(head);
+  } else {
+    // Busy-wait on the used ring; each probe costs poll_spin_ns of vCPU.
+    sim::Nanos burned = 0;
+    for (;;) {
+      drain_used(0);
+      bool done = false;
+      sim::Nanos done_ts = 0;
+      {
+        std::lock_guard lock(mu_);
+        auto it = pending_.find(head);
+        if (it != pending_.end() && it->second.completed) {
+          done = true;
+          done_ts = it->second.done_ts;
+          resp_written = it->second.written;
+          pending_.erase(it);
+        }
+      }
+      actor.advance(m.poll_spin_ns);
+      burned += m.poll_spin_ns;
+      if (done) {
+        actor.sync_to(done_ts);
+        break;
+      }
+      std::this_thread::yield();
+    }
+    std::lock_guard lock(mu_);
+    ++polled_waits_;
+    poll_cpu_burn_ += burned;
+  }
+
+  // Demux the response and copy any payload back to user space (copy 3ii).
+  actor.advance(m.fe_complete_ns);
+  TransactResult result;
+  std::memcpy(&result.response, ram.translate(*resp_gpa, sizeof(ResponseHeader)),
+              sizeof(ResponseHeader));
+  const std::size_t copy_back =
+      std::min<std::size_t>(result.response.payload_len, args.in_len);
+  actor.advance(m.fe_copyback_fixed_ns +
+                sim::transfer_time(copy_back, m.guest_memcpy_Bps));
+  if (copy_back > 0 && args.in_payload != nullptr) {
+    std::memcpy(args.in_payload, ram.translate(in_gpa, copy_back), copy_back);
+  }
+  result.in_written = copy_back;
+  (void)resp_written;
+  return result;
+}
+
+std::uint64_t FrontendDriver::requests() const {
+  std::lock_guard lock(mu_);
+  return requests_;
+}
+
+std::uint64_t FrontendDriver::interrupt_waits() const {
+  std::lock_guard lock(mu_);
+  return interrupt_waits_;
+}
+
+std::uint64_t FrontendDriver::polled_waits() const {
+  std::lock_guard lock(mu_);
+  return polled_waits_;
+}
+
+sim::Nanos FrontendDriver::poll_cpu_burn() const {
+  std::lock_guard lock(mu_);
+  return poll_cpu_burn_;
+}
+
+}  // namespace vphi::core

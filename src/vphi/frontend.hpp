@@ -1,0 +1,125 @@
+// The vPHI frontend driver — the guest kernel module.
+//
+// Sits between the (unmodified) guest libscif and the virtio transport:
+// intercepts each SCIF operation, stages payloads through kmalloc'd bounce
+// buffers (<= KMALLOC_MAX_SIZE), posts a request chain, kicks the backend,
+// and waits for the response according to the configured waiting scheme:
+//
+//  * kInterrupt — the paper's implementation: sleep on a wait queue until
+//    the virtual interrupt; cheap in CPU, expensive in latency (the 93% of
+//    the 375 us overhead measured in Sec. IV-B).
+//  * kPolling — busy-wait on the used ring: near-native latency, burns a
+//    guest vCPU (the alternative the paper rejected for large transfers).
+//  * kHybrid — the paper's proposed future work: poll below a size
+//    threshold, sleep above it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "hv/vm.hpp"
+#include "sim/actor.hpp"
+#include "sim/status.hpp"
+#include "vphi/protocol.hpp"
+
+namespace vphi::core {
+
+enum class WaitScheme {
+  kInterrupt,
+  kPolling,
+  kHybrid,
+};
+
+const char* wait_scheme_name(WaitScheme scheme) noexcept;
+
+struct FrontendConfig {
+  WaitScheme scheme = WaitScheme::kInterrupt;
+  /// kHybrid: payloads strictly below this poll, others sleep.
+  std::size_t hybrid_threshold = 32 * 1024;
+  /// Bounce-buffer (and therefore chunk) size. Clamped to KMALLOC_MAX_SIZE
+  /// — Linux will not hand out larger physically contiguous allocations.
+  /// Ablation A4 sweeps this down to show the per-chunk ring overhead.
+  std::size_t max_payload = hv::kKmallocMaxSize;
+};
+
+class FrontendDriver {
+ public:
+  using Config = FrontendConfig;
+
+  /// Maximum payload per request chain: one kmalloc'd bounce buffer.
+  static constexpr std::size_t kMaxPayload = hv::kKmallocMaxSize;
+
+  explicit FrontendDriver(hv::Vm& vm, Config config = {});
+  ~FrontendDriver();
+
+  FrontendDriver(const FrontendDriver&) = delete;
+  FrontendDriver& operator=(const FrontendDriver&) = delete;
+
+  /// Virtio probe: status handshake + feature negotiation + ISR
+  /// registration. Must succeed before transact() may be used.
+  sim::Status probe();
+  bool probed() const noexcept { return probed_; }
+
+  struct TransactArgs {
+    RequestHeader header;
+    const void* out_payload = nullptr;  ///< guest user data to stage out
+    std::size_t out_len = 0;
+    void* in_payload = nullptr;  ///< guest user buffer for response data
+    std::size_t in_len = 0;      ///< its capacity
+  };
+  struct TransactResult {
+    ResponseHeader response;
+    std::size_t in_written = 0;  ///< bytes copied back to in_payload
+  };
+
+  /// Run one request/response round trip through the ring. Payloads must
+  /// fit one bounce buffer (<= chunk_size()); chunking of larger transfers
+  /// is the caller's job (GuestScifProvider does it, mirroring the paper).
+  sim::Expected<TransactResult> transact(sim::Actor& actor,
+                                         const TransactArgs& args);
+
+  /// Effective bounce-buffer size (config.max_payload clamped to the
+  /// kmalloc cap).
+  std::size_t chunk_size() const noexcept {
+    return config_.max_payload < kMaxPayload ? config_.max_payload
+                                             : kMaxPayload;
+  }
+
+  hv::Vm& vm() noexcept { return *vm_; }
+  const Config& config() const noexcept { return config_; }
+
+  // --- statistics -----------------------------------------------------------
+  std::uint64_t requests() const;
+  std::uint64_t interrupt_waits() const;
+  std::uint64_t polled_waits() const;
+  /// Simulated CPU time burned spinning (polling scheme).
+  sim::Nanos poll_cpu_burn() const;
+
+ private:
+  struct Pending {
+    std::uint64_t ticket = 0;   ///< wait-queue ticket (interrupt waiters)
+    bool interrupt_wait = true;
+    bool completed = false;
+    sim::Nanos done_ts = 0;
+    std::uint32_t written = 0;
+  };
+
+  /// Drain the used ring into pending_ and wake interrupt waiters.
+  void on_irq(sim::Nanos irq_ts);
+  void drain_used(sim::Nanos ts_floor);
+  bool use_polling(std::size_t payload) const;
+
+  hv::Vm* vm_;
+  Config config_;
+  bool probed_ = false;
+
+  mutable std::mutex mu_;
+  std::map<std::uint16_t, Pending> pending_;  // keyed by chain head
+  std::uint64_t requests_ = 0;
+  std::uint64_t interrupt_waits_ = 0;
+  std::uint64_t polled_waits_ = 0;
+  sim::Nanos poll_cpu_burn_ = 0;
+};
+
+}  // namespace vphi::core

@@ -1,0 +1,494 @@
+#include "vphi/guest_scif.hpp"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mic/sysfs.hpp"
+#include "sim/actor.hpp"
+
+namespace vphi::core {
+
+namespace {
+constexpr std::size_t kCacheLine = 64;
+}
+
+GuestScifProvider::GuestScifProvider(FrontendDriver& frontend)
+    : frontend_(&frontend) {}
+
+GuestScifProvider::~GuestScifProvider() = default;
+
+sim::Expected<FrontendDriver::TransactResult> GuestScifProvider::call(
+    const FrontendDriver::TransactArgs& args) {
+  return frontend_->transact(sim::this_actor(), args);
+}
+
+sim::Expected<std::uint64_t> GuestScifProvider::pin_user_range(
+    void* addr, std::size_t len) {
+  auto& kernel = frontend_->vm().kernel();
+  auto gpa = kernel.ram().gpa_of(addr);
+  if (!gpa) return gpa.status();
+  const auto pinned = kernel.pin_pages(sim::this_actor(), *gpa, len);
+  if (!sim::ok(pinned)) return pinned;
+  return *gpa;
+}
+
+sim::Expected<int> GuestScifProvider::open() {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kOpen;
+  auto r = call(args);
+  if (!r) return r.status();
+  if (!sim::ok(response_status(r->response))) {
+    return response_status(r->response);
+  }
+  return static_cast<int>(r->response.ret0);
+}
+
+sim::Status GuestScifProvider::close(int epd) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kClose;
+  args.header.epd = epd;
+  auto r = call(args);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Expected<scif::Port> GuestScifProvider::bind(int epd, scif::Port pn) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kBind;
+  args.header.epd = epd;
+  args.header.arg0 = pn;
+  auto r = call(args);
+  if (!r) return r.status();
+  if (!sim::ok(response_status(r->response))) {
+    return response_status(r->response);
+  }
+  return static_cast<scif::Port>(r->response.ret0);
+}
+
+sim::Status GuestScifProvider::listen(int epd, int backlog) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kListen;
+  args.header.epd = epd;
+  args.header.arg0 = static_cast<std::uint64_t>(backlog);
+  auto r = call(args);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Status GuestScifProvider::connect(int epd, scif::PortId dst) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kConnect;
+  args.header.epd = epd;
+  args.header.arg0 = dst.node;
+  args.header.arg1 = dst.port;
+  auto r = call(args);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Expected<scif::AcceptResult> GuestScifProvider::accept(int epd,
+                                                            int flags) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kAccept;
+  args.header.epd = epd;
+  args.header.flags = flags;
+  auto r = call(args);
+  if (!r) return r.status();
+  if (!sim::ok(response_status(r->response))) {
+    return response_status(r->response);
+  }
+  scif::AcceptResult result;
+  result.epd = static_cast<int>(r->response.ret0);
+  result.peer.node = static_cast<scif::NodeId>(r->response.ret1 >> 16);
+  result.peer.port = static_cast<scif::Port>(r->response.ret1 & 0xFFFF);
+  return result;
+}
+
+sim::Expected<std::size_t> GuestScifProvider::send(int epd, const void* msg,
+                                                   std::size_t len,
+                                                   int flags) {
+  // Chunk at KMALLOC_MAX_SIZE: "if the requested data size is greater than
+  // this value, we implement the data transfer breaking up the allocation
+  // to KMALLOC_MAX_SIZE elements and proceed with each one of them."
+  const auto* bytes = static_cast<const std::byte*>(msg);
+  std::size_t sent_total = 0;
+  while (sent_total < len || len == 0) {
+    const std::size_t chunk =
+        std::min(len - sent_total, frontend_->chunk_size());
+    FrontendDriver::TransactArgs args;
+    args.header.op = Op::kSend;
+    args.header.epd = epd;
+    args.header.flags = flags;
+    args.out_payload = bytes + sent_total;
+    args.out_len = chunk;
+    auto r = call(args);
+    if (!r) return r.status();
+    if (!sim::ok(response_status(r->response))) {
+      if (sent_total > 0) return sent_total;  // partial like the real API
+      return response_status(r->response);
+    }
+    sent_total += static_cast<std::size_t>(r->response.ret0);
+    if (static_cast<std::size_t>(r->response.ret0) < chunk) break;
+    if (len == 0) break;
+  }
+  return sent_total;
+}
+
+sim::Expected<std::size_t> GuestScifProvider::recv(int epd, void* msg,
+                                                   std::size_t len,
+                                                   int flags) {
+  auto* bytes = static_cast<std::byte*>(msg);
+  std::size_t got_total = 0;
+  while (got_total < len || len == 0) {
+    const std::size_t chunk =
+        std::min(len - got_total, frontend_->chunk_size());
+    FrontendDriver::TransactArgs args;
+    args.header.op = Op::kRecv;
+    args.header.epd = epd;
+    args.header.flags = flags;
+    args.header.arg0 = chunk;
+    args.in_payload = bytes + got_total;
+    args.in_len = chunk;
+    auto r = call(args);
+    if (!r) return r.status();
+    if (!sim::ok(response_status(r->response))) {
+      if (got_total > 0) return got_total;
+      return response_status(r->response);
+    }
+    got_total += static_cast<std::size_t>(r->response.ret0);
+    if (static_cast<std::size_t>(r->response.ret0) < chunk) break;
+    if (len == 0) break;
+  }
+  return got_total;
+}
+
+sim::Expected<scif::RegOffset> GuestScifProvider::register_mem(
+    int epd, void* addr, std::size_t len, scif::RegOffset offset, int prot,
+    int flags) {
+  // Pin the guest pages first — an unpinned page that got swapped out
+  // would feed stale data to remote reads (Sec. III).
+  auto gpa = pin_user_range(addr, len);
+  if (!gpa) return gpa.status();
+
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kRegister;
+  args.header.epd = epd;
+  args.header.arg0 = *gpa;
+  args.header.arg1 = len;
+  args.header.arg2 = static_cast<std::uint64_t>(offset);
+  args.header.arg3 = static_cast<std::uint64_t>(prot);
+  args.header.flags = flags;
+  auto r = call(args);
+  if (!r || !sim::ok(response_status(r->response))) {
+    frontend_->vm().kernel().unpin_pages(*gpa, len);
+    return r ? response_status(r->response) : r.status();
+  }
+  const auto reg_off = static_cast<scif::RegOffset>(r->response.ret0);
+  std::lock_guard lock(mu_);
+  registered_[{epd, reg_off}] = {*gpa, len};
+  return reg_off;
+}
+
+sim::Status GuestScifProvider::unregister_mem(int epd, scif::RegOffset offset,
+                                              std::size_t len) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kUnregister;
+  args.header.epd = epd;
+  args.header.arg0 = static_cast<std::uint64_t>(offset);
+  args.header.arg1 = len;
+  auto r = call(args);
+  if (!r) return r.status();
+  const auto status = response_status(r->response);
+  if (sim::ok(status)) {
+    std::lock_guard lock(mu_);
+    auto it = registered_.find({epd, offset});
+    if (it != registered_.end()) {
+      frontend_->vm().kernel().unpin_pages(it->second.first,
+                                           it->second.second);
+      registered_.erase(it);
+    }
+  }
+  return status;
+}
+
+sim::Status GuestScifProvider::readfrom(int epd, scif::RegOffset loffset,
+                                        std::size_t len,
+                                        scif::RegOffset roffset, int flags) {
+  // RMA carries no ring payload: the command crosses, the data DMAs
+  // directly into the pinned guest window.
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kReadfrom;
+  args.header.epd = epd;
+  args.header.arg0 = static_cast<std::uint64_t>(loffset);
+  args.header.arg1 = len;
+  args.header.arg2 = static_cast<std::uint64_t>(roffset);
+  args.header.flags = flags;
+  auto r = call(args);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Status GuestScifProvider::writeto(int epd, scif::RegOffset loffset,
+                                       std::size_t len, scif::RegOffset roffset,
+                                       int flags) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kWriteto;
+  args.header.epd = epd;
+  args.header.arg0 = static_cast<std::uint64_t>(loffset);
+  args.header.arg1 = len;
+  args.header.arg2 = static_cast<std::uint64_t>(roffset);
+  args.header.flags = flags;
+  auto r = call(args);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Status GuestScifProvider::vreadfrom(int epd, void* addr, std::size_t len,
+                                         scif::RegOffset roffset, int flags) {
+  auto gpa = pin_user_range(addr, len);
+  if (!gpa) return gpa.status();
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kVreadfrom;
+  args.header.epd = epd;
+  args.header.arg0 = *gpa;
+  args.header.arg1 = len;
+  args.header.arg2 = static_cast<std::uint64_t>(roffset);
+  args.header.flags = flags;
+  auto r = call(args);
+  frontend_->vm().kernel().unpin_pages(*gpa, len);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Status GuestScifProvider::vwriteto(int epd, void* addr, std::size_t len,
+                                        scif::RegOffset roffset, int flags) {
+  auto gpa = pin_user_range(addr, len);
+  if (!gpa) return gpa.status();
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kVwriteto;
+  args.header.epd = epd;
+  args.header.arg0 = *gpa;
+  args.header.arg1 = len;
+  args.header.arg2 = static_cast<std::uint64_t>(roffset);
+  args.header.flags = flags;
+  auto r = call(args);
+  frontend_->vm().kernel().unpin_pages(*gpa, len);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Expected<scif::Mapping> GuestScifProvider::mmap(int epd,
+                                                     scif::RegOffset roffset,
+                                                     std::size_t len,
+                                                     int prot) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kMmap;
+  args.header.epd = epd;
+  args.header.arg0 = static_cast<std::uint64_t>(roffset);
+  args.header.arg1 = len;
+  args.header.arg2 = static_cast<std::uint64_t>(prot);
+  auto r = call(args);
+  if (!r) return r.status();
+  if (!sim::ok(response_status(r->response))) {
+    return response_status(r->response);
+  }
+  const auto backend_cookie = static_cast<std::uint64_t>(r->response.ret0);
+  auto* device_base = reinterpret_cast<std::byte*>(
+      static_cast<std::uintptr_t>(r->response.ret1));
+
+  // Two-level mapping: allocate a guest-virtual range, tag the vma with
+  // VM_PFNPHI and the device frame so KVM faults resolve correctly.
+  std::uint64_t gva;
+  std::uint64_t cookie;
+  {
+    std::lock_guard lock(mu_);
+    gva = next_gva_;
+    next_gva_ += (len + hv::GuestPhysMem::kPageSize - 1) /
+                 hv::GuestPhysMem::kPageSize * hv::GuestPhysMem::kPageSize;
+    cookie = next_cookie_++;
+    mappings_[cookie] = GuestMapping{backend_cookie, gva, len};
+  }
+  const auto added = frontend_->vm().kernel().vmas().add(
+      hv::Vma{gva, len, hv::VM_PFNPHI, device_base});
+  if (!sim::ok(added)) return added;
+
+  scif::Mapping mapping;
+  mapping.data = device_base;  // raw alias for tests; guest access goes
+                               // through map_read/map_write (the MMU path)
+  mapping.len = len;
+  mapping.roffset = roffset;
+  mapping.cookie = cookie;
+  return mapping;
+}
+
+sim::Status GuestScifProvider::munmap(scif::Mapping& mapping) {
+  GuestMapping gm;
+  {
+    std::lock_guard lock(mu_);
+    auto it = mappings_.find(mapping.cookie);
+    if (it == mappings_.end()) return sim::Status::kInvalidArgument;
+    gm = it->second;
+    mappings_.erase(it);
+  }
+  frontend_->vm().mmu().invalidate(gm.gva, gm.len);
+  frontend_->vm().kernel().vmas().remove(gm.gva);
+
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kMunmap;
+  args.header.arg0 = gm.backend_cookie;
+  auto r = call(args);
+  mapping = scif::Mapping{};
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Status GuestScifProvider::map_read(const scif::Mapping& mapping,
+                                        std::size_t off, void* dst,
+                                        std::size_t n) {
+  GuestMapping gm;
+  {
+    std::lock_guard lock(mu_);
+    auto it = mappings_.find(mapping.cookie);
+    if (it == mappings_.end()) return sim::Status::kInvalidArgument;
+    gm = it->second;
+  }
+  if (off + n > gm.len) return sim::Status::kOutOfRange;
+  auto& actor = sim::this_actor();
+  // A guest dereference: page faults resolve through the modified KVM MMU
+  // (VM_PFNPHI), then each cacheline is an uncached access to device memory.
+  auto ptr = frontend_->vm().mmu().access(actor, gm.gva + off, n);
+  if (!ptr) return ptr.status();
+  const std::size_t lines = (n + kCacheLine - 1) / kCacheLine;
+  actor.advance(static_cast<sim::Nanos>(lines) *
+                frontend_->vm().model().mmio_access_ns);
+  std::memcpy(dst, *ptr, n);
+  return sim::Status::kOk;
+}
+
+sim::Status GuestScifProvider::map_write(const scif::Mapping& mapping,
+                                         std::size_t off, const void* src,
+                                         std::size_t n) {
+  GuestMapping gm;
+  {
+    std::lock_guard lock(mu_);
+    auto it = mappings_.find(mapping.cookie);
+    if (it == mappings_.end()) return sim::Status::kInvalidArgument;
+    gm = it->second;
+  }
+  if (off + n > gm.len) return sim::Status::kOutOfRange;
+  auto& actor = sim::this_actor();
+  auto ptr = frontend_->vm().mmu().access(actor, gm.gva + off, n);
+  if (!ptr) return ptr.status();
+  const std::size_t lines = (n + kCacheLine - 1) / kCacheLine;
+  actor.advance(static_cast<sim::Nanos>(lines) *
+                frontend_->vm().model().mmio_access_ns);
+  std::memcpy(*ptr, src, n);
+  return sim::Status::kOk;
+}
+
+sim::Expected<int> GuestScifProvider::fence_mark(int epd, int flags) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kFenceMark;
+  args.header.epd = epd;
+  args.header.flags = flags;
+  auto r = call(args);
+  if (!r) return r.status();
+  if (!sim::ok(response_status(r->response))) {
+    return response_status(r->response);
+  }
+  return static_cast<int>(r->response.ret0);
+}
+
+sim::Status GuestScifProvider::fence_wait(int epd, int mark) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kFenceWait;
+  args.header.epd = epd;
+  args.header.arg0 = static_cast<std::uint64_t>(mark);
+  auto r = call(args);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Status GuestScifProvider::fence_signal(int epd, scif::RegOffset loff,
+                                            std::uint64_t lval,
+                                            scif::RegOffset roff,
+                                            std::uint64_t rval, int flags) {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kFenceSignal;
+  args.header.epd = epd;
+  args.header.arg0 = static_cast<std::uint64_t>(loff);
+  args.header.arg1 = lval;
+  args.header.arg2 = static_cast<std::uint64_t>(roff);
+  args.header.arg3 = rval;
+  args.header.flags = flags;
+  auto r = call(args);
+  if (!r) return r.status();
+  return response_status(r->response);
+}
+
+sim::Expected<int> GuestScifProvider::poll(scif::PollEpd* epds, int nepds,
+                                           int timeout_ms) {
+  if (epds == nullptr || nepds <= 0) return sim::Status::kInvalidArgument;
+  const std::size_t bytes =
+      sizeof(scif::PollEpd) * static_cast<std::size_t>(nepds);
+  std::vector<scif::PollEpd> shuttle(epds, epds + nepds);
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kPoll;
+  args.header.arg0 = static_cast<std::uint64_t>(nepds);
+  args.header.arg1 = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(timeout_ms));
+  args.out_payload = shuttle.data();
+  args.out_len = bytes;
+  args.in_payload = shuttle.data();
+  args.in_len = bytes;
+  auto r = call(args);
+  if (!r) return r.status();
+  if (!sim::ok(response_status(r->response))) {
+    return response_status(r->response);
+  }
+  std::memcpy(epds, shuttle.data(), bytes);
+  return static_cast<int>(r->response.ret0);
+}
+
+sim::Expected<scif::NodeIds> GuestScifProvider::get_node_ids() {
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kGetNodeIds;
+  auto r = call(args);
+  if (!r) return r.status();
+  if (!sim::ok(response_status(r->response))) {
+    return response_status(r->response);
+  }
+  return scif::NodeIds{static_cast<std::uint16_t>(r->response.ret0),
+                       static_cast<scif::NodeId>(r->response.ret1)};
+}
+
+sim::Expected<mic::SysfsInfo> GuestScifProvider::card_info(
+    std::uint32_t index) {
+  std::vector<char> blob(8'192);
+  FrontendDriver::TransactArgs args;
+  args.header.op = Op::kCardInfo;
+  args.header.arg0 = index;
+  args.in_payload = blob.data();
+  args.in_len = blob.size();
+  auto r = call(args);
+  if (!r) return r.status();
+  if (!sim::ok(response_status(r->response))) {
+    return response_status(r->response);
+  }
+  // Parse "key=value\n" lines back into a SysfsInfo.
+  mic::SysfsInfo info;
+  std::string_view rest{blob.data(), r->in_written};
+  while (!rest.empty()) {
+    const auto nl = rest.find('\n');
+    std::string_view line = rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) continue;
+    info.set(std::string(line.substr(0, eq)), std::string(line.substr(eq + 1)));
+  }
+  return info;
+}
+
+}  // namespace vphi::core

@@ -1,0 +1,101 @@
+// The guest-side SCIF provider (vSCIF).
+//
+// This is the libscif a process inside the VM links against: the identical
+// scif::Provider interface as the native HostProvider, so applications, COI
+// and micnativeloadex run unmodified — the paper's binary-compatibility
+// property. Every call becomes a vPHI wire request through the frontend
+// driver; transfers larger than one bounce buffer are chunked at
+// KMALLOC_MAX_SIZE (Sec. III "Implementation details"); scif_register pins
+// the guest pages first (Sec. III "Guest memory registration"); scif_mmap
+// installs a VM_PFNPHI vma so guest dereferences fault through the modified
+// KVM MMU straight onto device memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "scif/provider.hpp"
+#include "vphi/frontend.hpp"
+
+namespace vphi::core {
+
+class GuestScifProvider final : public scif::Provider {
+ public:
+  explicit GuestScifProvider(FrontendDriver& frontend);
+  ~GuestScifProvider() override;
+
+  sim::Expected<int> open() override;
+  sim::Status close(int epd) override;
+  sim::Expected<scif::Port> bind(int epd, scif::Port pn) override;
+  sim::Status listen(int epd, int backlog) override;
+  sim::Status connect(int epd, scif::PortId dst) override;
+  sim::Expected<scif::AcceptResult> accept(int epd, int flags) override;
+
+  sim::Expected<std::size_t> send(int epd, const void* msg, std::size_t len,
+                                  int flags) override;
+  sim::Expected<std::size_t> recv(int epd, void* msg, std::size_t len,
+                                  int flags) override;
+
+  sim::Expected<scif::RegOffset> register_mem(int epd, void* addr,
+                                              std::size_t len,
+                                              scif::RegOffset offset, int prot,
+                                              int flags) override;
+  sim::Status unregister_mem(int epd, scif::RegOffset offset,
+                             std::size_t len) override;
+  sim::Status readfrom(int epd, scif::RegOffset loffset, std::size_t len,
+                       scif::RegOffset roffset, int flags) override;
+  sim::Status writeto(int epd, scif::RegOffset loffset, std::size_t len,
+                      scif::RegOffset roffset, int flags) override;
+  sim::Status vreadfrom(int epd, void* addr, std::size_t len,
+                        scif::RegOffset roffset, int flags) override;
+  sim::Status vwriteto(int epd, void* addr, std::size_t len,
+                       scif::RegOffset roffset, int flags) override;
+
+  sim::Expected<scif::Mapping> mmap(int epd, scif::RegOffset roffset,
+                                    std::size_t len, int prot) override;
+  sim::Status munmap(scif::Mapping& mapping) override;
+  sim::Status map_read(const scif::Mapping& mapping, std::size_t off,
+                       void* dst, std::size_t n) override;
+  sim::Status map_write(const scif::Mapping& mapping, std::size_t off,
+                        const void* src, std::size_t n) override;
+
+  sim::Expected<int> fence_mark(int epd, int flags) override;
+  sim::Status fence_wait(int epd, int mark) override;
+  sim::Status fence_signal(int epd, scif::RegOffset loff, std::uint64_t lval,
+                           scif::RegOffset roff, std::uint64_t rval,
+                           int flags) override;
+  sim::Expected<int> poll(scif::PollEpd* epds, int nepds,
+                          int timeout_ms) override;
+
+  sim::Expected<scif::NodeIds> get_node_ids() override;
+  sim::Expected<mic::SysfsInfo> card_info(std::uint32_t index) override;
+
+  FrontendDriver& frontend() noexcept { return *frontend_; }
+
+ private:
+  /// One wire round trip; wraps FrontendDriver::transact with this_actor().
+  sim::Expected<FrontendDriver::TransactResult> call(
+      const FrontendDriver::TransactArgs& args);
+  /// Pin + translate a guest user range for register/vread/vwrite; returns
+  /// the gpa.
+  sim::Expected<std::uint64_t> pin_user_range(void* addr, std::size_t len);
+
+  FrontendDriver* frontend_;
+
+  std::mutex mu_;
+  /// registered windows: (epd, offset) -> {gpa, len} for unregister unpin.
+  std::map<std::pair<int, scif::RegOffset>, std::pair<std::uint64_t, std::size_t>>
+      registered_;
+  /// live mmaps: guest gva -> {backend cookie, len}.
+  struct GuestMapping {
+    std::uint64_t backend_cookie = 0;
+    std::uint64_t gva = 0;
+    std::size_t len = 0;
+  };
+  std::map<std::uint64_t, GuestMapping> mappings_;  // keyed by cookie we mint
+  std::uint64_t next_cookie_ = 1;
+  std::uint64_t next_gva_ = 0x7f00'0000'0000ull;  ///< mmap address space
+};
+
+}  // namespace vphi::core

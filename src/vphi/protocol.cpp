@@ -1,0 +1,33 @@
+#include "vphi/protocol.hpp"
+
+namespace vphi::core {
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kClose: return "close";
+    case Op::kBind: return "bind";
+    case Op::kListen: return "listen";
+    case Op::kConnect: return "connect";
+    case Op::kAccept: return "accept";
+    case Op::kSend: return "send";
+    case Op::kRecv: return "recv";
+    case Op::kRegister: return "register";
+    case Op::kUnregister: return "unregister";
+    case Op::kReadfrom: return "readfrom";
+    case Op::kWriteto: return "writeto";
+    case Op::kVreadfrom: return "vreadfrom";
+    case Op::kVwriteto: return "vwriteto";
+    case Op::kMmap: return "mmap";
+    case Op::kMunmap: return "munmap";
+    case Op::kFenceMark: return "fence_mark";
+    case Op::kFenceWait: return "fence_wait";
+    case Op::kFenceSignal: return "fence_signal";
+    case Op::kPoll: return "poll";
+    case Op::kGetNodeIds: return "get_node_ids";
+    case Op::kCardInfo: return "card_info";
+  }
+  return "unknown";
+}
+
+}  // namespace vphi::core

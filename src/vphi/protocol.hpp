@@ -1,0 +1,84 @@
+// The vPHI wire protocol between the guest frontend driver and the QEMU
+// backend device.
+//
+// Each SCIF operation intercepted in the guest becomes one request chain on
+// the virtio ring:
+//
+//   [out] RequestHeader            (device-readable)
+//   [out] request payload          (optional: send data, poll set, ...)
+//   [in]  ResponseHeader           (device-writable)
+//   [in]  response payload         (optional: recv data, card info, ...)
+//
+// Headers are fixed-size PODs; payloads ride in kmalloc'd bounce buffers
+// capped at KMALLOC_MAX_SIZE, which is why large transfers are chunked
+// (Sec. III, "Implementation details"). RMA operations carry no payload:
+// only the command crosses the ring, the data moves by host DMA directly
+// to/from the pinned guest pages.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/status.hpp"
+
+namespace vphi::core {
+
+/// One opcode per intercepted SCIF entry point (the ioctl command set of
+/// /dev/mic/scif, plus the sysfs-info forwarding the MPSS tools need).
+enum class Op : std::uint32_t {
+  kOpen = 1,
+  kClose,
+  kBind,
+  kListen,
+  kConnect,
+  kAccept,
+  kSend,
+  kRecv,
+  kRegister,
+  kUnregister,
+  kReadfrom,
+  kWriteto,
+  kVreadfrom,
+  kVwriteto,
+  kMmap,
+  kMunmap,
+  kFenceMark,
+  kFenceWait,
+  kFenceSignal,
+  kPoll,
+  kGetNodeIds,
+  kCardInfo,
+};
+
+const char* op_name(Op op) noexcept;
+
+struct RequestHeader {
+  Op op = Op::kOpen;
+  std::int32_t epd = -1;
+  /// Generic argument slots; meaning is per-op (offsets, lengths, ports,
+  /// node ids, protection bits...). Documented at each use site.
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint64_t arg2 = 0;
+  std::uint64_t arg3 = 0;
+  std::int32_t flags = 0;
+  std::uint32_t payload_len = 0;  ///< bytes in the out-payload segment
+};
+
+struct ResponseHeader {
+  std::int64_t ret0 = 0;    ///< per-op primary result (epd, port, offset, ...)
+  std::int64_t ret1 = 0;    ///< per-op secondary result
+  std::int32_t status = 0;  ///< sim::Status as int
+  std::uint32_t payload_len = 0;  ///< bytes the device wrote to the in-payload
+};
+
+inline sim::Status response_status(const ResponseHeader& r) noexcept {
+  return static_cast<sim::Status>(r.status);
+}
+inline void set_status(ResponseHeader& r, sim::Status s) noexcept {
+  r.status = static_cast<std::int32_t>(s);
+}
+
+static_assert(sizeof(RequestHeader) == 48, "keep the wire format stable");
+static_assert(sizeof(ResponseHeader) == 24, "keep the wire format stable");
+
+}  // namespace vphi::core

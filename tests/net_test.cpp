@@ -1,0 +1,176 @@
+// Tests for the emulated network over SCIF (mic0) and the ssh-style
+// native-mode path of Sec. IV-A — including the comparison against
+// micnativeloadex the paper implies when it rejects the ssh option.
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "net/micshell.hpp"
+#include "net/veth.hpp"
+#include "sim/actor.hpp"
+#include "sim/rng.hpp"
+#include "tools/micnativeloadex.hpp"
+#include "tools/testbed.hpp"
+#include "workloads/dgemm.hpp"
+
+namespace vphi::net {
+namespace {
+
+using sim::Status;
+using tools::Testbed;
+using tools::TestbedConfig;
+
+class NetFixture : public ::testing::Test {
+ protected:
+  NetFixture() : bed_(TestbedConfig{}) {
+    workloads::register_dgemm_kernel();
+    daemon_ = std::make_unique<MicShellDaemon>(bed_.fabric(), bed_.card(),
+                                               bed_.card_node());
+    EXPECT_EQ(daemon_->start(), Status::kOk);
+  }
+
+  Testbed bed_;
+  std::unique_ptr<MicShellDaemon> daemon_;
+};
+
+TEST_F(NetFixture, DatagramsSegmentAndReassemble) {
+  // Raw veth pair over a dedicated SCIF connection.
+  auto lep = bed_.card_provider().open();
+  ASSERT_TRUE(lep);
+  ASSERT_TRUE(bed_.card_provider().bind(*lep, 8'000));
+  ASSERT_TRUE(sim::ok(bed_.card_provider().listen(*lep, 1)));
+  auto server = std::async(std::launch::async, [&] {
+    sim::Actor a{"card-net", sim::Actor::AtNow{}};
+    sim::ActorScope scope(a);
+    auto acc = bed_.card_provider().accept(*lep, scif::SCIF_ACCEPT_SYNC);
+    ASSERT_TRUE(acc);
+    VirtualEthernet veth{bed_.card_provider(), acc->epd};
+    auto datagram = veth.recv_datagram();
+    ASSERT_TRUE(datagram);
+    // Echo it back.
+    ASSERT_EQ(veth.send_datagram(datagram->data(), datagram->size()),
+              Status::kOk);
+    EXPECT_GT(veth.frames_received(), 1u) << "larger than one MTU";
+  });
+
+  sim::Actor a{"host-net", sim::Actor::AtNow{}};
+  sim::ActorScope scope(a);
+  auto epd = bed_.host_provider().open();
+  ASSERT_TRUE(epd);
+  ASSERT_TRUE(sim::ok(bed_.host_provider().connect(
+      *epd, scif::PortId{bed_.card_node(), 8'000})));
+  VirtualEthernet veth{bed_.host_provider(), *epd};
+
+  std::vector<std::uint8_t> payload(kMtu * 3 + 123);
+  sim::Rng rng{11};
+  rng.fill(payload.data(), payload.size());
+  ASSERT_EQ(veth.send_datagram(payload.data(), payload.size()), Status::kOk);
+  auto echoed = veth.recv_datagram();
+  ASSERT_TRUE(echoed);
+  EXPECT_EQ(*echoed, payload);
+  EXPECT_EQ(veth.frames_sent(), 4u);
+  server.get();
+}
+
+TEST_F(NetFixture, ShellInfoAndUnknownCommand) {
+  sim::Actor a{"user", sim::Actor::AtNow{}};
+  sim::ActorScope scope(a);
+  auto shell = ShellClient::connect(bed_.host_provider(), bed_.card_node());
+  ASSERT_TRUE(shell);
+  auto result = shell->exec("missing.bin", "noop", 1, {});
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->exit_code, 127) << "binary was never pushed";
+  EXPECT_NE(result->output.find("No such file"), std::string::npos);
+}
+
+TEST_F(NetFixture, PushThenExecRunsKernel) {
+  sim::Actor a{"user", sim::Actor::AtNow{}};
+  sim::ActorScope scope(a);
+  auto shell = ShellClient::connect(bed_.host_provider(), bed_.card_node());
+  ASSERT_TRUE(shell);
+  ASSERT_EQ(shell->push_file("dgemm.mic", 2ull << 20), Status::kOk);
+  EXPECT_EQ(daemon_->stored_bytes(), 2ull << 20);
+  auto result = shell->exec("dgemm.mic", workloads::kDgemmKernelName, 56,
+                            {"128"});
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->exit_code, 0);
+  EXPECT_NE(result->output.find("PASSED"), std::string::npos);
+}
+
+TEST_F(NetFixture, SshPathWorksFromInsideTheVm) {
+  // The emulated network rides SCIF, so it crosses vPHI like everything
+  // else — a guest can "ssh" to the card without any host bridge, though
+  // the paper rejects this usage model for clouds on isolation grounds.
+  sim::Actor a{"guest-user", sim::Actor::AtNow{}};
+  sim::ActorScope scope(a);
+  auto shell =
+      ShellClient::connect(bed_.vm(0).guest_scif(), bed_.card_node());
+  ASSERT_TRUE(shell);
+  ASSERT_EQ(shell->push_file("tool.bin", 1 << 20), Status::kOk);
+  auto result = shell->exec("tool.bin", "noop", 1, {});
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->exit_code, 0);
+  EXPECT_EQ(result->output, "ok");
+}
+
+TEST_F(NetFixture, SshNativeModeSlowerThanLoadex) {
+  // Sec. IV-A's two native-mode options, measured head to head on the same
+  // workload: (a) scp the binary + ssh-exec; (b) micnativeloadex. The
+  // framed + encrypted network path must lose to the DMA streaming path
+  // for the bulk transfer.
+  constexpr std::uint64_t kBinaryBytes = 48ull << 20;
+  constexpr std::size_t kN = 2'048;
+
+  // (a) ssh/scp.
+  sim::Nanos ssh_total;
+  {
+    sim::Actor a{"ssh-user", sim::Actor::AtNow{}};
+    sim::ActorScope scope(a);
+    auto shell = ShellClient::connect(bed_.host_provider(), bed_.card_node());
+    ASSERT_TRUE(shell);
+    const sim::Nanos before = a.now();
+    ASSERT_EQ(shell->push_file("bench.mic", kBinaryBytes), Status::kOk);
+    auto result = shell->exec("bench.mic", workloads::kDgemmKernelName, 112,
+                              {std::to_string(kN)});
+    ASSERT_TRUE(result);
+    ASSERT_EQ(result->exit_code, 0);
+    ssh_total = a.now() - before;
+  }
+
+  // (b) micnativeloadex with an equal-size image.
+  sim::Nanos loadex_total;
+  {
+    sim::Actor a{"loadex-user", sim::Actor::AtNow{}};
+    sim::ActorScope scope(a);
+    coi::BinaryImage image;
+    image.name = "bench.mic";
+    image.bytes = kBinaryBytes;
+    image.entry_kernel = workloads::kDgemmKernelName;
+    tools::MicNativeLoadEx loadex{bed_.host_provider()};
+    tools::LoadexOptions options;
+    options.threads = 112;
+    options.args = {std::to_string(kN)};
+    auto r = loadex.run(image, options);
+    ASSERT_TRUE(r);
+    ASSERT_EQ(r->exit_code, 0);
+    loadex_total = r->total_ns;
+  }
+
+  EXPECT_GT(ssh_total, loadex_total)
+      << "per-frame + crypto costs must lose to SCIF DMA streaming";
+}
+
+TEST_F(NetFixture, DaemonCountsSessions) {
+  sim::Actor a{"user", sim::Actor::AtNow{}};
+  sim::ActorScope scope(a);
+  {
+    auto s1 = ShellClient::connect(bed_.host_provider(), bed_.card_node());
+    ASSERT_TRUE(s1);
+    auto s2 = ShellClient::connect(bed_.host_provider(), bed_.card_node());
+    ASSERT_TRUE(s2);
+  }
+  EXPECT_EQ(daemon_->sessions(), 2u);
+}
+
+}  // namespace
+}  // namespace vphi::net

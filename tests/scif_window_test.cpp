@@ -1,0 +1,186 @@
+// Unit + property tests for the registered-window table.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scif/window.hpp"
+#include "sim/rng.hpp"
+
+namespace vphi::scif {
+namespace {
+
+constexpr std::size_t kPage = WindowTable::kPageSize;
+
+class WindowFixture : public ::testing::Test {
+ protected:
+  std::byte* buf(std::size_t pages) {
+    storage_.push_back(std::vector<std::byte>(pages * kPage));
+    return storage_.back().data();
+  }
+  WindowTable table_;
+  std::vector<std::vector<std::byte>> storage_;
+};
+
+TEST_F(WindowFixture, DynamicOffsetsDoNotCollide) {
+  auto a = table_.add(buf(2), 2 * kPage, 0, SCIF_PROT_READ, 0, false);
+  auto b = table_.add(buf(2), 2 * kPage, 0, SCIF_PROT_READ, 0, false);
+  ASSERT_TRUE(a && b);
+  EXPECT_GE(*a, WindowTable::kDynamicBase);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(table_.count(), 2u);
+  EXPECT_EQ(table_.total_bytes(), 4 * kPage);
+}
+
+TEST_F(WindowFixture, FixedOffsetHonored) {
+  auto a = table_.add(buf(1), kPage, 0x10000, SCIF_PROT_READ | SCIF_PROT_WRITE,
+                      SCIF_MAP_FIXED, false);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(*a, 0x10000);
+}
+
+TEST_F(WindowFixture, FixedOverlapRejected) {
+  ASSERT_TRUE(table_.add(buf(2), 2 * kPage, 0x10000, SCIF_PROT_READ,
+                         SCIF_MAP_FIXED, false));
+  auto overlap_mid = table_.add(buf(1), kPage, 0x10000 + kPage,
+                                SCIF_PROT_READ, SCIF_MAP_FIXED, false);
+  EXPECT_EQ(overlap_mid.status(), sim::Status::kAlreadyExists);
+  auto overlap_front = table_.add(buf(2), 2 * kPage, 0x10000 - kPage,
+                                  SCIF_PROT_READ, SCIF_MAP_FIXED, false);
+  EXPECT_EQ(overlap_front.status(), sim::Status::kAlreadyExists);
+  auto adjacent = table_.add(buf(1), kPage, 0x10000 + 2 * kPage,
+                             SCIF_PROT_READ, SCIF_MAP_FIXED, false);
+  EXPECT_TRUE(adjacent) << "touching but not overlapping is fine";
+}
+
+TEST_F(WindowFixture, InvalidArgumentsRejected) {
+  EXPECT_EQ(table_.add(nullptr, kPage, 0, SCIF_PROT_READ, 0, false).status(),
+            sim::Status::kInvalidArgument);
+  EXPECT_EQ(table_.add(buf(1), 0, 0, SCIF_PROT_READ, 0, false).status(),
+            sim::Status::kInvalidArgument);
+  EXPECT_EQ(table_.add(buf(1), 100, 0, SCIF_PROT_READ, 0, false).status(),
+            sim::Status::kInvalidArgument)
+      << "length must be page-multiple";
+  EXPECT_EQ(table_.add(buf(1), kPage, 0, 0, 0, false).status(),
+            sim::Status::kInvalidArgument)
+      << "no protection bits";
+  EXPECT_EQ(table_.add(buf(1), kPage, 123, SCIF_PROT_READ, SCIF_MAP_FIXED,
+                       false)
+                .status(),
+            sim::Status::kInvalidArgument)
+      << "fixed offset must be page-aligned";
+}
+
+TEST_F(WindowFixture, ResolveWithinWindow) {
+  auto* base = buf(4);
+  auto off = table_.add(base, 4 * kPage, 0, SCIF_PROT_READ, 0, false);
+  ASSERT_TRUE(off);
+  auto spans = table_.resolve(*off + 100, 2 * kPage, SCIF_PROT_READ);
+  ASSERT_TRUE(spans);
+  ASSERT_EQ(spans->size(), 1u);
+  EXPECT_EQ(spans->front().base, base + 100);
+  EXPECT_EQ(spans->front().len, 2 * kPage);
+}
+
+TEST_F(WindowFixture, ResolveAcrossAdjacentWindows) {
+  auto* b1 = buf(1);
+  auto* b2 = buf(1);
+  ASSERT_TRUE(table_.add(b1, kPage, 0x0, SCIF_PROT_WRITE, SCIF_MAP_FIXED, false));
+  ASSERT_TRUE(table_.add(b2, kPage, static_cast<RegOffset>(kPage),
+                         SCIF_PROT_WRITE, SCIF_MAP_FIXED, true));
+  auto spans = table_.resolve(kPage / 2, kPage, SCIF_PROT_WRITE);
+  ASSERT_TRUE(spans);
+  ASSERT_EQ(spans->size(), 2u);
+  EXPECT_EQ((*spans)[0].base, b1 + kPage / 2);
+  EXPECT_EQ((*spans)[0].len, kPage / 2);
+  EXPECT_FALSE((*spans)[0].fragmented);
+  EXPECT_EQ((*spans)[1].base, b2);
+  EXPECT_EQ((*spans)[1].len, kPage / 2);
+  EXPECT_TRUE((*spans)[1].fragmented);
+}
+
+TEST_F(WindowFixture, ResolveHoleFails) {
+  ASSERT_TRUE(table_.add(buf(1), kPage, 0x0, SCIF_PROT_READ, SCIF_MAP_FIXED, false));
+  ASSERT_TRUE(table_.add(buf(1), kPage, static_cast<RegOffset>(3 * kPage),
+                         SCIF_PROT_READ, SCIF_MAP_FIXED, false));
+  EXPECT_EQ(table_.resolve(0, 4 * kPage, SCIF_PROT_READ).status(),
+            sim::Status::kNoSuchEntry);
+  EXPECT_EQ(table_.resolve(static_cast<RegOffset>(kPage), 1, SCIF_PROT_READ)
+                .status(),
+            sim::Status::kNoSuchEntry);
+}
+
+TEST_F(WindowFixture, ResolveProtectionEnforced) {
+  auto off = table_.add(buf(1), kPage, 0, SCIF_PROT_READ, 0, false);
+  ASSERT_TRUE(off);
+  EXPECT_TRUE(table_.resolve(*off, kPage, SCIF_PROT_READ));
+  EXPECT_EQ(table_.resolve(*off, kPage, SCIF_PROT_WRITE).status(),
+            sim::Status::kAccessDenied);
+  EXPECT_EQ(
+      table_.resolve(*off, kPage, SCIF_PROT_READ | SCIF_PROT_WRITE).status(),
+      sim::Status::kAccessDenied);
+}
+
+TEST_F(WindowFixture, RemoveRequiresExactWindow) {
+  auto off = table_.add(buf(2), 2 * kPage, 0, SCIF_PROT_READ, 0, false);
+  ASSERT_TRUE(off);
+  EXPECT_EQ(table_.remove(*off, kPage), sim::Status::kInvalidArgument);
+  EXPECT_EQ(table_.remove(*off + 1, 2 * kPage), sim::Status::kInvalidArgument);
+  EXPECT_EQ(table_.remove(*off, 2 * kPage), sim::Status::kOk);
+  EXPECT_EQ(table_.count(), 0u);
+  EXPECT_EQ(table_.resolve(*off, 1, SCIF_PROT_READ).status(),
+            sim::Status::kNoSuchEntry);
+}
+
+TEST_F(WindowFixture, MmapRefsBlockUnregister) {
+  auto off = table_.add(buf(1), kPage, 0, SCIF_PROT_READ, 0, false);
+  ASSERT_TRUE(off);
+  EXPECT_EQ(table_.add_mmap_ref(*off), sim::Status::kOk);
+  EXPECT_EQ(table_.remove(*off, kPage), sim::Status::kBusy);
+  EXPECT_EQ(table_.drop_mmap_ref(*off), sim::Status::kOk);
+  EXPECT_EQ(table_.remove(*off, kPage), sim::Status::kOk);
+  EXPECT_EQ(table_.drop_mmap_ref(*off), sim::Status::kNoSuchEntry);
+}
+
+// Property sweep: random register/unregister interleavings never corrupt the
+// table — every live window stays resolvable, every removed one does not.
+class WindowChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowChurnTest, RandomChurnKeepsTableConsistent) {
+  sim::Rng rng{GetParam()};
+  WindowTable table;
+  std::vector<std::vector<std::byte>> storage;
+  struct Live {
+    RegOffset off;
+    std::size_t len;
+  };
+  std::vector<Live> live;
+
+  for (int step = 0; step < 200; ++step) {
+    if (live.empty() || rng.uniform() < 0.6) {
+      const std::size_t pages = 1 + rng.below(8);
+      storage.push_back(std::vector<std::byte>(pages * kPage));
+      auto off = table.add(storage.back().data(), pages * kPage, 0,
+                           SCIF_PROT_READ | SCIF_PROT_WRITE, 0, false);
+      ASSERT_TRUE(off);
+      live.push_back({*off, pages * kPage});
+    } else {
+      const std::size_t i = rng.below(live.size());
+      ASSERT_EQ(table.remove(live[i].off, live[i].len), sim::Status::kOk);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    // Invariants.
+    ASSERT_EQ(table.count(), live.size());
+    for (const auto& w : live) {
+      auto spans = table.resolve(w.off, w.len, SCIF_PROT_READ);
+      ASSERT_TRUE(spans);
+      ASSERT_EQ(spans->size(), 1u);
+      ASSERT_EQ(spans->front().len, w.len);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowChurnTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace vphi::scif

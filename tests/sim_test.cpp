@@ -1,0 +1,333 @@
+// Unit tests for the simulation substrate: actors/virtual time, the bus
+// arbiter, timestamped channels, statistics containers, and — crucially —
+// the paper anchors baked into the default CostModel.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "sim/actor.hpp"
+#include "sim/bus.hpp"
+#include "sim/channel.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/status.hpp"
+#include "sim/time.hpp"
+
+namespace vphi::sim {
+namespace {
+
+TEST(Time, TransferTimeBasics) {
+  EXPECT_EQ(transfer_time(0, 1e9), 0u);
+  EXPECT_EQ(transfer_time(1'000'000'000, 1e9), 1'000'000'000u);  // 1 GB @ 1GB/s
+  EXPECT_EQ(transfer_time(1, 1e12), 1u) << "nonzero transfers take >= 1 ns";
+  EXPECT_EQ(transfer_time(4096, 4.096e9), 1'000u);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_micros(kMicrosecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_micros(7 * kMicrosecond), 7.0);
+}
+
+TEST(Actor, AdvanceAccumulates) {
+  Actor a{"t"};
+  EXPECT_EQ(a.now(), 0u);
+  EXPECT_EQ(a.advance(100), 100u);
+  EXPECT_EQ(a.advance(50), 150u);
+  EXPECT_EQ(a.now(), 150u);
+}
+
+TEST(Actor, SyncOnlyMovesForward) {
+  Actor a{"t", 1'000};
+  EXPECT_EQ(a.sync_to(500), 1'000u) << "sync to the past is a no-op";
+  EXPECT_EQ(a.sync_to(2'000), 2'000u);
+  EXPECT_EQ(a.sync_and_advance(1'500, 10), 2'010u)
+      << "sync below current now still pays the advance";
+}
+
+TEST(Actor, ThisActorFallbackExists) {
+  Actor& d = this_actor();
+  EXPECT_FALSE(has_bound_actor());
+  const Nanos before = d.now();
+  d.advance(5);
+  EXPECT_EQ(this_actor().now(), before + 5);
+}
+
+TEST(Actor, ScopeBindsAndNests) {
+  Actor outer{"outer", 10};
+  Actor inner{"inner", 20};
+  {
+    ActorScope s1(outer);
+    EXPECT_TRUE(has_bound_actor());
+    EXPECT_EQ(&this_actor(), &outer);
+    {
+      ActorScope s2(inner);
+      EXPECT_EQ(&this_actor(), &inner);
+    }
+    EXPECT_EQ(&this_actor(), &outer);
+  }
+  EXPECT_FALSE(has_bound_actor());
+}
+
+TEST(Actor, ScopeIsPerThread) {
+  Actor main_actor{"main"};
+  ActorScope scope(main_actor);
+  bool other_thread_bound = true;
+  std::thread t([&] { other_thread_bound = has_bound_actor(); });
+  t.join();
+  EXPECT_FALSE(other_thread_bound);
+}
+
+TEST(Bus, UncontendedStartsAtReady) {
+  BusArbiter bus;
+  const auto g = bus.acquire(100, 50);
+  EXPECT_EQ(g.start, 100u);
+  EXPECT_EQ(g.end, 150u);
+  EXPECT_EQ(bus.free_at(), 150u);
+}
+
+TEST(Bus, ContentionQueues) {
+  BusArbiter bus;
+  const auto g1 = bus.acquire(0, 100);
+  const auto g2 = bus.acquire(10, 100);  // requester ready at 10, bus busy
+  EXPECT_EQ(g1.end, 100u);
+  EXPECT_EQ(g2.start, 100u);
+  EXPECT_EQ(g2.end, 200u);
+  EXPECT_EQ(bus.busy_total(), 200u);
+  EXPECT_EQ(bus.grants(), 2u);
+}
+
+TEST(Bus, IdleGapNotCharged) {
+  BusArbiter bus;
+  bus.acquire(0, 10);
+  const auto g = bus.acquire(1'000, 10);  // long idle gap before
+  EXPECT_EQ(g.start, 1'000u);
+  EXPECT_EQ(bus.busy_total(), 20u);
+}
+
+TEST(Bus, ConcurrentAcquiresLinearize) {
+  BusArbiter bus;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bus] {
+      for (int i = 0; i < kPerThread; ++i) bus.acquire(0, 7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bus.busy_total(), static_cast<Nanos>(kThreads * kPerThread * 7));
+  EXPECT_EQ(bus.free_at(), bus.busy_total()) << "back-to-back grants from t=0";
+}
+
+TEST(Channel, FifoOrderAndTimestamps) {
+  Channel<int> ch;
+  ch.push(1, 100);
+  ch.push(2, 50);
+  auto a = ch.pop();
+  auto b = ch.pop();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->value, 1);
+  EXPECT_EQ(a->ts, 100u);
+  EXPECT_EQ(b->value, 2);
+  EXPECT_EQ(b->ts, 50u);
+}
+
+TEST(Channel, PopBlocksUntilPush) {
+  Channel<int> ch;
+  std::thread producer([&] { ch.push(42, 7); });
+  auto item = ch.pop();
+  producer.join();
+  ASSERT_TRUE(item);
+  EXPECT_EQ(item->value, 42);
+}
+
+TEST(Channel, CloseDrainsThenReturnsNull) {
+  Channel<int> ch;
+  ch.push(1, 0);
+  ch.close();
+  EXPECT_TRUE(ch.pop().has_value());
+  EXPECT_FALSE(ch.pop().has_value());
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(EventLine, CountingSemantics) {
+  EventLine line;
+  line.raise(10);
+  line.raise(20);
+  EXPECT_EQ(line.pending(), 2u);
+  EXPECT_EQ(line.wait().value(), 20u) << "latest raise time is reported";
+  EXPECT_EQ(line.try_wait().value(), 20u);
+  EXPECT_FALSE(line.try_wait().has_value());
+}
+
+TEST(EventLine, CloseReleasesWaiter) {
+  EventLine line;
+  std::optional<Nanos> got = Nanos{1};
+  std::thread waiter([&] { got = line.wait(); });
+  line.close();
+  waiter.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Status, Names) {
+  EXPECT_EQ(to_string(Status::kOk), "OK");
+  EXPECT_EQ(to_string(Status::kConnectionReset), "CONNECTION_RESET");
+  EXPECT_TRUE(ok(Status::kOk));
+  EXPECT_FALSE(ok(Status::kNoMemory));
+}
+
+TEST(Expected, ValueAndError) {
+  Expected<int> good{7};
+  ASSERT_TRUE(good);
+  EXPECT_EQ(*good, 7);
+  EXPECT_EQ(good.status(), Status::kOk);
+
+  Expected<int> bad{Status::kNoDevice};
+  EXPECT_FALSE(bad);
+  EXPECT_EQ(bad.status(), Status::kNoDevice);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Summary, Moments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(Histogram, PercentilesMonotone) {
+  Histogram h;
+  for (Nanos v = 1; v <= 1'000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 1'000u);
+  const double p50 = h.percentile(0.50);
+  const double p90 = h.percentile(0.90);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_EQ(Histogram{}.percentile(0.5), 0.0);
+}
+
+TEST(FigureTable, PrintsAllSeriesAndRatios) {
+  FigureTable t{"demo", "size"};
+  Series host{"host", {}, {}};
+  host.add(1, 7.0);
+  host.add(2, 8.0);
+  Series vphi{"vphi", {}, {}};
+  vphi.add(1, 382.0);
+  vphi.add(2, 383.0);
+  t.add_series(host);
+  t.add_series(vphi);
+  t.add_ratio_column(1, 0, "vphi/host");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("host"), std::string::npos);
+  EXPECT_NE(out.find("382.0000"), std::string::npos);
+  EXPECT_NE(out.find("54.5714"), std::string::npos);  // 382/7
+}
+
+TEST(Stats, FormatBytes) {
+  EXPECT_EQ(format_bytes(1), "1 B");
+  EXPECT_EQ(format_bytes(4096), "4 KiB");
+  EXPECT_EQ(format_bytes(64ull << 20), "64 MiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3 GiB");
+  EXPECT_EQ(format_bytes(1500), "1500 B");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangesRespectBounds) {
+  Rng r{7};
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_LT(r.below(10), 10u);
+    const auto v = r.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, FillIsReproducible) {
+  Rng a{42}, b{42};
+  unsigned char buf_a[37], buf_b[37];
+  a.fill(buf_a, sizeof(buf_a));
+  b.fill(buf_b, sizeof(buf_b));
+  EXPECT_EQ(memcmp(buf_a, buf_b, sizeof(buf_a)), 0);
+}
+
+// --- Paper anchors in the default cost model --------------------------------
+
+TEST(CostModel, HostSmallMessageIs7us) {
+  // Fig. 4: native 1-byte latency 7 us.
+  EXPECT_EQ(CostModel::paper().host_small_msg_ns(), 7'000u);
+}
+
+TEST(CostModel, VphiRingRoundtripIs375us) {
+  // Fig. 4: vPHI adds 375 us over native (382 - 7).
+  EXPECT_EQ(CostModel::paper().vphi_ring_roundtrip_ns(), 375'000u);
+}
+
+TEST(CostModel, WakeupSchemeIs93PercentOfOverhead) {
+  // Sec. IV-B breakdown: 93% of the virtualization overhead is the
+  // frontend's sleep/wakeup scheme.
+  const auto& m = CostModel::paper();
+  const double frac = static_cast<double>(m.guest_wakeup_scheme_ns) /
+                      static_cast<double>(m.vphi_ring_roundtrip_ns());
+  EXPECT_NEAR(frac, 0.93, 0.005);
+}
+
+TEST(CostModel, HostDmaApproaches6p4GBs) {
+  // Fig. 5: host remote read peaks at 6.4 GB/s.
+  const auto& m = CostModel::paper();
+  const std::uint64_t bytes = 64ull << 20;
+  const Nanos t = m.dma_setup_ns + m.dma_transfer_ns(bytes, /*fragmented=*/false);
+  const double gbps = static_cast<double>(bytes) / static_cast<double>(t);
+  EXPECT_NEAR(gbps, 6.4, 0.1);
+}
+
+TEST(CostModel, FragmentedDmaApproaches4p6GBs) {
+  // Fig. 5: vPHI remote read peaks at 4.6 GB/s = 72% of host. The loss is
+  // modeled as per-page scatter-gather on pinned guest memory.
+  const auto& m = CostModel::paper();
+  const std::uint64_t bytes = 64ull << 20;
+  const Nanos t = m.dma_setup_ns + m.dma_transfer_ns(bytes, /*fragmented=*/true);
+  const double gbps = static_cast<double>(bytes) / static_cast<double>(t);
+  EXPECT_NEAR(gbps, 4.6, 0.1);
+}
+
+TEST(CostModel, FragmentedNeverFasterThanContiguous) {
+  const auto& m = CostModel::paper();
+  for (std::uint64_t bytes : {1ull, 4096ull, 65536ull, 1ull << 20, 64ull << 20}) {
+    EXPECT_GE(m.dma_transfer_ns(bytes, true), m.dma_transfer_ns(bytes, false));
+  }
+}
+
+TEST(CostModel, MicTopologyMatches3120P) {
+  const auto& m = CostModel::paper();
+  EXPECT_EQ(m.mic_cores, 57u);
+  EXPECT_EQ(m.mic_reserved_cores, 1u);
+  EXPECT_EQ(m.mic_threads_per_core, 4u);
+  // 56 usable cores x {1,2,4} threads = the paper's 56/112/224 sweeps.
+  EXPECT_EQ((m.mic_cores - m.mic_reserved_cores) * 1, 56u);
+  EXPECT_EQ((m.mic_cores - m.mic_reserved_cores) * 2, 112u);
+  EXPECT_EQ((m.mic_cores - m.mic_reserved_cores) * 4, 224u);
+}
+
+}  // namespace
+}  // namespace vphi::sim

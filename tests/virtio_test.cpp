@@ -1,0 +1,242 @@
+// Unit + property tests for the virtio split virtqueue and device status.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "virtio/device.hpp"
+#include "virtio/ring.hpp"
+
+namespace vphi::virtio {
+namespace {
+
+/// Flat "guest memory" backing for ring tests.
+class FlatMem {
+ public:
+  explicit FlatMem(std::size_t size) : mem_(size) {}
+
+  MemTranslate translator() {
+    return [this](std::uint64_t gpa, std::uint32_t len) -> void* {
+      if (gpa + len > mem_.size()) return nullptr;
+      return mem_.data() + gpa;
+    };
+  }
+  std::uint8_t* at(std::uint64_t gpa) { return mem_.data() + gpa; }
+
+ private:
+  std::vector<std::uint8_t> mem_;
+};
+
+TEST(Virtqueue, PostPopCompleteRoundtrip) {
+  FlatMem mem{4'096};
+  Virtqueue vq{8, mem.translator()};
+  std::memcpy(mem.at(0), "request!", 8);
+
+  BufferRef out{0, 8};
+  BufferRef in{100, 16};
+  auto head = vq.add_buf({&out, 1}, {&in, 1});
+  ASSERT_TRUE(head);
+  EXPECT_EQ(vq.free_descriptors(), 6);
+  vq.kick(1'000);
+
+  auto chain = vq.pop_avail();
+  ASSERT_TRUE(chain);
+  EXPECT_EQ(chain->head, *head);
+  EXPECT_EQ(chain->kick_ts, 1'000u);
+  ASSERT_EQ(chain->segments.size(), 2u);
+  EXPECT_FALSE(chain->segments[0].device_writes);
+  EXPECT_TRUE(chain->segments[1].device_writes);
+  EXPECT_EQ(chain->writable_bytes(), 16u);
+  EXPECT_EQ(std::memcmp(chain->segments[0].ptr, "request!", 8), 0);
+
+  // Device writes a response in place (zero copy) and completes.
+  std::memcpy(chain->segments[1].ptr, "response", 8);
+  ASSERT_EQ(vq.push_used(chain->head, 8, 2'000), sim::Status::kOk);
+
+  auto used = vq.get_used();
+  ASSERT_TRUE(used);
+  EXPECT_EQ(used->id, *head);
+  EXPECT_EQ(used->len, 8u);
+  EXPECT_EQ(used->ts, 2'000u);
+  EXPECT_EQ(std::memcmp(mem.at(100), "response", 8), 0);
+  EXPECT_EQ(vq.free_descriptors(), 8) << "chain descriptors recycled";
+}
+
+TEST(Virtqueue, ExhaustionReturnsNoSpace) {
+  FlatMem mem{4'096};
+  Virtqueue vq{4, mem.translator()};
+  BufferRef r{0, 1};
+  std::vector<std::uint16_t> heads;
+  for (int i = 0; i < 4; ++i) {
+    auto h = vq.add_buf({&r, 1}, {});
+    ASSERT_TRUE(h);
+    heads.push_back(*h);
+  }
+  EXPECT_EQ(vq.add_buf({&r, 1}, {}).status(), sim::Status::kNoSpace);
+  // Complete one, slot frees up.
+  vq.kick(0);
+  auto chain = vq.pop_avail();
+  ASSERT_TRUE(chain);
+  ASSERT_EQ(vq.push_used(chain->head, 0, 0), sim::Status::kOk);
+  ASSERT_TRUE(vq.get_used());
+  EXPECT_TRUE(vq.add_buf({&r, 1}, {}));
+}
+
+TEST(Virtqueue, ChainTooLongRejectedAtomically) {
+  FlatMem mem{4'096};
+  Virtqueue vq{4, mem.translator()};
+  std::vector<BufferRef> refs(5, BufferRef{0, 1});
+  EXPECT_EQ(vq.add_buf({refs.data(), 5}, {}).status(), sim::Status::kNoSpace);
+  EXPECT_EQ(vq.free_descriptors(), 4) << "failed add leaks nothing";
+  EXPECT_EQ(vq.add_buf({}, {}).status(), sim::Status::kInvalidArgument);
+}
+
+TEST(Virtqueue, FifoOrderPreserved) {
+  FlatMem mem{4'096};
+  Virtqueue vq{16, mem.translator()};
+  std::vector<std::uint16_t> heads;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    BufferRef r{i * 8, 8};
+    auto h = vq.add_buf({&r, 1}, {});
+    ASSERT_TRUE(h);
+    heads.push_back(*h);
+  }
+  vq.kick(0);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto chain = vq.try_pop_avail();
+    ASSERT_TRUE(chain);
+    EXPECT_EQ(chain->head, heads[i]);
+  }
+  EXPECT_FALSE(vq.try_pop_avail());
+}
+
+TEST(Virtqueue, TranslationFailureYieldsNullSegment) {
+  FlatMem mem{64};
+  Virtqueue vq{4, mem.translator()};
+  BufferRef bogus{1'000'000, 8};
+  ASSERT_TRUE(vq.add_buf({&bogus, 1}, {}));
+  vq.kick(0);
+  auto chain = vq.pop_avail();
+  ASSERT_TRUE(chain);
+  EXPECT_EQ(chain->segments[0].ptr, nullptr)
+      << "backend must detect unmapped guest addresses";
+}
+
+TEST(Virtqueue, ShutdownUnblocksDevice) {
+  FlatMem mem{64};
+  Virtqueue vq{4, mem.translator()};
+  std::optional<Chain> got = Chain{};
+  std::thread device([&] { got = vq.pop_avail(); });
+  vq.shutdown();
+  device.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Virtqueue, CrossThreadPipelineKeepsDataIntact) {
+  FlatMem mem{1 << 16};
+  Virtqueue vq{32, mem.translator()};
+  constexpr int kMsgs = 200;
+  constexpr std::uint32_t kMsgLen = 64;
+
+  std::thread device([&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      auto chain = vq.pop_avail();
+      ASSERT_TRUE(chain);
+      ASSERT_EQ(chain->segments.size(), 2u);
+      // Echo request into response segment.
+      std::memcpy(chain->segments[1].ptr, chain->segments[0].ptr, kMsgLen);
+      ASSERT_EQ(vq.push_used(chain->head, kMsgLen, chain->kick_ts + 10),
+                sim::Status::kOk);
+    }
+  });
+
+  sim::Rng rng{5};
+  for (int i = 0; i < kMsgs; ++i) {
+    const std::uint64_t req_gpa = 0;
+    const std::uint64_t rsp_gpa = 4'096;
+    rng.fill(mem.at(req_gpa), kMsgLen);
+    BufferRef out{req_gpa, kMsgLen};
+    BufferRef in{rsp_gpa, kMsgLen};
+    auto head = vq.add_buf({&out, 1}, {&in, 1});
+    ASSERT_TRUE(head);
+    vq.kick(static_cast<sim::Nanos>(i));
+    // Wait for the echo.
+    std::optional<UsedElem> used;
+    while (!(used = vq.get_used())) std::this_thread::yield();
+    EXPECT_EQ(used->id, *head);
+    EXPECT_EQ(std::memcmp(mem.at(req_gpa), mem.at(rsp_gpa), kMsgLen), 0);
+  }
+  device.join();
+}
+
+// Ring-invariant property sweep: random post/complete interleavings never
+// leak descriptors and used ids always match posted heads.
+class RingChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingChurnTest, DescriptorAccountingExact) {
+  FlatMem mem{1 << 16};
+  Virtqueue vq{16, mem.translator()};
+  sim::Rng rng{GetParam()};
+  std::vector<std::uint16_t> outstanding;
+
+  for (int step = 0; step < 500; ++step) {
+    if (outstanding.empty() || (rng.uniform() < 0.55 && vq.free_descriptors() >= 3)) {
+      std::vector<BufferRef> out(1 + rng.below(2), BufferRef{0, 16});
+      BufferRef in{256, 16};
+      auto head = vq.add_buf({out.data(), out.size()}, {&in, 1});
+      if (!head) continue;
+      vq.kick(static_cast<sim::Nanos>(step));
+      outstanding.push_back(*head);
+    } else {
+      auto chain = vq.try_pop_avail();
+      if (!chain) continue;
+      ASSERT_EQ(vq.push_used(chain->head, 4, 0), sim::Status::kOk);
+      auto used = vq.get_used();
+      ASSERT_TRUE(used);
+      ASSERT_EQ(used->id, chain->head);
+      auto it = std::find(outstanding.begin(), outstanding.end(),
+                          static_cast<std::uint16_t>(used->id));
+      ASSERT_NE(it, outstanding.end()) << "used id was never posted";
+      outstanding.erase(it);
+    }
+  }
+  // Drain everything; the free list must return to full.
+  while (auto chain = vq.try_pop_avail()) {
+    ASSERT_EQ(vq.push_used(chain->head, 0, 0), sim::Status::kOk);
+    ASSERT_TRUE(vq.get_used());
+  }
+  EXPECT_EQ(vq.free_descriptors(), 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingChurnTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(DeviceStatus, HandshakeSucceeds) {
+  DeviceStatus status{VIRTIO_F_VERSION_1 | VPHI_F_SCIF};
+  status.set(VIRTIO_STATUS_ACKNOWLEDGE);
+  status.set(VIRTIO_STATUS_DRIVER);
+  EXPECT_TRUE(status.negotiate(VIRTIO_F_VERSION_1 | VPHI_F_SCIF));
+  status.set(VIRTIO_STATUS_DRIVER_OK);
+  EXPECT_TRUE(status.driver_ok());
+  EXPECT_FALSE(status.failed());
+  EXPECT_EQ(status.accepted_features(), VIRTIO_F_VERSION_1 | VPHI_F_SCIF);
+}
+
+TEST(DeviceStatus, UnofferedFeatureFailsNegotiation) {
+  DeviceStatus status{VPHI_F_SCIF};
+  EXPECT_FALSE(status.negotiate(VPHI_F_SCIF | VPHI_F_MMAP_PFN));
+  EXPECT_TRUE(status.failed());
+}
+
+TEST(DeviceStatus, ResetClearsState) {
+  DeviceStatus status{VPHI_F_SCIF};
+  ASSERT_TRUE(status.negotiate(VPHI_F_SCIF));
+  status.reset();
+  EXPECT_FALSE(status.has(VIRTIO_STATUS_FEATURES_OK));
+  EXPECT_EQ(status.accepted_features(), 0u);
+}
+
+}  // namespace
+}  // namespace vphi::virtio
