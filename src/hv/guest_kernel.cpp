@@ -15,6 +15,18 @@ std::uint64_t WaitQueue::prepare() {
 }
 
 sim::Status WaitQueue::wait(std::uint64_t ticket, sim::Actor& actor) {
+  return wait_impl(ticket, actor, nullptr);
+}
+
+sim::Status WaitQueue::wait_for(std::uint64_t ticket, sim::Actor& actor,
+                                std::chrono::milliseconds wall_grace) {
+  const auto deadline = std::chrono::steady_clock::now() + wall_grace;
+  return wait_impl(ticket, actor, &deadline);
+}
+
+sim::Status WaitQueue::wait_impl(
+    std::uint64_t ticket, sim::Actor& actor,
+    const std::chrono::steady_clock::time_point* wall_deadline) {
   std::unique_lock lock(mu_);
   std::uint64_t seen_generation = wake_generation_;
   std::uint64_t my_spurious = 0;
@@ -43,12 +55,25 @@ sim::Status WaitQueue::wait(std::uint64_t ticket, sim::Actor& actor) {
       return sim::Status::kOk;
     }
     // Sleep until any wake event; count generations we woke for in vain.
-    ++blocked_;
-    cv_.wait(lock, [&] {
+    const auto wake_pred = [&] {
       return shutdown_ || wake_generation_ != seen_generation ||
              completed_.count(ticket) != 0;
-    });
+    };
+    ++blocked_;
+    bool woken = true;
+    if (wall_deadline != nullptr) {
+      woken = cv_.wait_until(lock, *wall_deadline, wake_pred);
+    } else {
+      cv_.wait(lock, wake_pred);
+    }
     --blocked_;
+    if (!woken) {
+      // Nothing is coming for this ticket: deregister so a late complete()
+      // is dropped instead of leaking, and let the caller charge the
+      // simulated timeout.
+      sleeping_.erase(ticket);
+      return sim::Status::kTimedOut;
+    }
     if (wake_generation_ != seen_generation &&
         completed_.count(ticket) == 0 && !shutdown_) {
       ++my_spurious;
@@ -61,10 +86,20 @@ sim::Status WaitQueue::wait(std::uint64_t ticket, sim::Actor& actor) {
 void WaitQueue::complete(std::uint64_t ticket, sim::Nanos irq_ts) {
   {
     std::lock_guard lock(mu_);
+    // A ticket that timed out (wait_for gave up) or was never prepared is
+    // no longer in sleeping_: drop the completion instead of parking it in
+    // completed_ forever.
+    if (sleeping_.count(ticket) == 0) return;
     completed_[ticket] = Completion{irq_ts, sleeping_.size()};
     ++wake_generation_;
   }
   cv_.notify_all();  // wake_up_all: every sleeper checks the ring
+}
+
+void WaitQueue::cancel(std::uint64_t ticket) {
+  std::lock_guard lock(mu_);
+  sleeping_.erase(ticket);
+  completed_.erase(ticket);
 }
 
 void WaitQueue::shutdown() {

@@ -13,6 +13,7 @@
 // * copy_{from,to}_user timing — the only real copies on the vPHI data path.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -42,8 +43,24 @@ class WaitQueue {
   /// Returns kShutDown if the queue was torn down first.
   sim::Status wait(std::uint64_t ticket, sim::Actor& actor);
 
+  /// Bounded wait: like wait(), but gives up after `wall_grace` of real time
+  /// with no completion. Simulated time cannot advance while nothing
+  /// happens, so a request the transport lost (dropped kick, dead backend)
+  /// never completes and never moves the clock either — this wall-clock
+  /// escape hatch is what lets the frontend charge its *simulated* request
+  /// timeout and move on. On kTimedOut the ticket is deregistered (a late
+  /// complete() for it is ignored) and no waiting cost is charged; the
+  /// caller owns the simulated-time accounting of the timeout.
+  sim::Status wait_for(std::uint64_t ticket, sim::Actor& actor,
+                       std::chrono::milliseconds wall_grace);
+
   /// ISR side: the response for `ticket` became visible at `irq_ts`.
+  /// Completions for unknown (cancelled / timed-out) tickets are dropped.
   void complete(std::uint64_t ticket, sim::Nanos irq_ts);
+
+  /// Deregister a prepared ticket that will never be waited on (e.g. the
+  /// request was never posted). A late complete() for it is dropped.
+  void cancel(std::uint64_t ticket);
 
   void shutdown();
 
@@ -58,6 +75,11 @@ class WaitQueue {
     sim::Nanos irq_ts = 0;
     std::size_t sleepers_at_irq = 0;
   };
+
+  /// Shared loop behind wait()/wait_for(); `wall_deadline` null = unbounded.
+  sim::Status wait_impl(
+      std::uint64_t ticket, sim::Actor& actor,
+      const std::chrono::steady_clock::time_point* wall_deadline);
 
   const sim::CostModel* model_;
   mutable std::mutex mu_;

@@ -1,5 +1,8 @@
 #include "hv/guest_mem.hpp"
 
+#include "sim/fault.hpp"
+#include "sim/log.hpp"
+
 namespace vphi::hv {
 
 GuestPhysMem::GuestPhysMem(std::uint64_t ram_bytes)
@@ -23,8 +26,18 @@ sim::Expected<std::uint64_t> GuestPhysMem::gpa_of(
 }
 
 sim::Expected<std::uint64_t> GuestPhysMem::kmalloc(std::uint64_t len) {
-  if (len > kKmallocMaxSize) return sim::Status::kNoMemory;  // kmalloc cap
-  return ualloc(len);
+  if (sim::fault_injector().should_fire(sim::FaultSite::kKmallocNoMem)) {
+    VPHI_LOG(kWarn, "guest-mem") << "kmalloc(" << len << ") -> injected ENOMEM";
+    kmalloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return sim::Status::kNoMemory;
+  }
+  if (len > kKmallocMaxSize) {  // kmalloc cap
+    kmalloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return sim::Status::kNoMemory;
+  }
+  auto gpa = ualloc(len);
+  if (!gpa) kmalloc_failures_.fetch_add(1, std::memory_order_relaxed);
+  return gpa;
 }
 
 sim::Expected<std::uint64_t> GuestPhysMem::ualloc(std::uint64_t len) {

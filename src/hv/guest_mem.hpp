@@ -11,6 +11,7 @@
 // "Implementation details").
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -52,10 +53,16 @@ class GuestPhysMem {
 
   std::uint64_t allocated_bytes() const;
   std::uint64_t allocation_count() const;
+  /// kmalloc requests denied (cap exceeded, arena exhausted, or injected
+  /// ENOMEM via sim::FaultInjector).
+  std::uint64_t kmalloc_failures() const noexcept {
+    return kmalloc_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::uint64_t ram_bytes_;
   std::unique_ptr<std::byte[]> ram_;
+  std::atomic<std::uint64_t> kmalloc_failures_{0};
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::uint64_t> free_blocks_;  // gpa -> len
   std::map<std::uint64_t, std::uint64_t> live_blocks_;  // gpa -> len

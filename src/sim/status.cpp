@@ -28,6 +28,7 @@ std::string_view to_string(Status s) noexcept {
     case Status::kNoSpace: return "NO_SPACE";
     case Status::kShutDown: return "SHUT_DOWN";
     case Status::kInternal: return "INTERNAL";
+    case Status::kIoError: return "IO_ERROR";
   }
   return "UNKNOWN";
 }

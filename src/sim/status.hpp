@@ -41,6 +41,7 @@ enum class Status : int {
   kNoSpace,           // ENOSPC (port space exhausted)
   kShutDown,          // device or VM torn down under the caller
   kInternal,          // bug in the simulator itself
+  kIoError,           // EIO (transport-level corruption / protocol violation)
 };
 
 /// Human-readable name, e.g. for gtest failure messages and logs.
@@ -48,6 +49,14 @@ std::string_view to_string(Status s) noexcept;
 
 /// True for kOk.
 constexpr bool ok(Status s) noexcept { return s == Status::kOk; }
+
+/// True when `v` is the integer encoding of a known Status value. The vPHI
+/// wire carries Status as an int32; a peer (or an injected fault) can put
+/// anything there, so receivers must range-check before casting back.
+constexpr bool valid_status_int(int v) noexcept {
+  return v >= static_cast<int>(Status::kOk) &&
+         v <= static_cast<int>(Status::kIoError);
+}
 
 /// Minimal expected-or-error type (GCC 12 lacks std::expected).
 /// Holds either a value of T or a non-kOk Status.

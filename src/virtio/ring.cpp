@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "sim/fault.hpp"
+#include "sim/log.hpp"
+
 namespace vphi::virtio {
 
 namespace {
@@ -84,6 +87,22 @@ void Virtqueue::kick(sim::Nanos visible_ts) {
     std::lock_guard lock(mu_);
     ++kick_count_;
   }
+  auto& fi = sim::fault_injector();
+  if (fi.should_fire(sim::FaultSite::kKickDrop)) {
+    // The doorbell write never reaches the device: the avail entry sits in
+    // the ring until a later kick (the frontend's timeout path sends a
+    // rescue kick) flushes it through.
+    VPHI_LOG(kWarn, "virtio") << "kick at " << visible_ts << " dropped";
+    std::lock_guard lock(mu_);
+    ++dropped_kicks_;
+    return;
+  }
+  if (fi.should_fire(sim::FaultSite::kKickDelay)) {
+    const sim::Nanos delay = fi.delay_ns(sim::FaultSite::kKickDelay);
+    VPHI_LOG(kWarn, "virtio") << "kick at " << visible_ts << " delayed by "
+                              << delay << "ns";
+    visible_ts += delay;
+  }
   avail_event_.raise(visible_ts);
 }
 
@@ -97,14 +116,28 @@ std::optional<UsedElem> Virtqueue::get_used() {
 }
 
 std::optional<Chain> Virtqueue::pop_avail() {
-  const auto kick_ts = avail_event_.wait();
-  if (!kick_ts) return std::nullopt;
-  auto chain = try_pop_avail();
-  if (chain) chain->kick_ts = std::max(chain->kick_ts, *kick_ts);
-  return chain;
+  // A raise with no pending chain is legal (kick coalescing, or a driver's
+  // rescue kick racing a completion): skip it instead of reporting
+  // shutdown, so a spurious doorbell can never kill the device loop.
+  for (;;) {
+    const auto kick_ts = avail_event_.wait();
+    if (!kick_ts) return std::nullopt;
+    auto chain = try_pop_avail();
+    if (!chain) continue;
+    chain->kick_ts = std::max(chain->kick_ts, *kick_ts);
+    return chain;
+  }
 }
 
 std::optional<Chain> Virtqueue::try_pop_avail() {
+  auto& fi = sim::fault_injector();
+  // Simulated guest-side corruption: the device walk behaves as if the
+  // chain's terminator pointed back at its head. Only the walk's *view* is
+  // bent — the descriptor table stays intact so completion still recycles
+  // the chain correctly.
+  const bool inject_cycle = fi.should_fire(sim::FaultSite::kCycleChain);
+  const bool inject_truncate = fi.should_fire(sim::FaultSite::kTruncateChain);
+
   std::lock_guard lock(mu_);
   if (avail_consumed_ == avail_idx_) return std::nullopt;
   const std::uint16_t head = avail_ring_[avail_consumed_ % size_];
@@ -113,13 +146,38 @@ std::optional<Chain> Virtqueue::try_pop_avail() {
   Chain chain;
   chain.head = head;
   std::uint16_t d = head;
+  std::uint16_t walked = 0;
   for (;;) {
+    // The descriptor table is guest-writable shared memory: a corrupted (or
+    // hostile) `next` can point outside the table or form a cycle. Cap the
+    // walk at size_ segments — a well-formed chain can never be longer —
+    // and poison anything that exceeds it instead of spinning forever.
+    if (d >= size_ || walked == size_) {
+      chain.poisoned = true;
+      ++poisoned_chains_;
+      VPHI_LOG(kWarn, "virtio")
+          << "descriptor walk from head " << head
+          << " exceeded " << size_ << " segments: poisoning chain";
+      break;
+    }
+    ++walked;
     const Desc& desc = table_[d];
     void* ptr = translate_ ? translate_(desc.addr, desc.len) : nullptr;
     chain.segments.push_back(
         Chain::Segment{ptr, desc.len, (desc.flags & VIRTQ_DESC_F_WRITE) != 0});
-    if ((desc.flags & VIRTQ_DESC_F_NEXT) == 0) break;
+    if ((desc.flags & VIRTQ_DESC_F_NEXT) == 0) {
+      if (!inject_cycle) break;
+      d = head;  // injected corruption: terminator loops back to the head
+      continue;
+    }
     d = desc.next;
+  }
+  if (inject_truncate && chain.segments.size() > 1) {
+    chain.segments.pop_back();
+    ++truncated_chains_;
+    VPHI_LOG(kWarn, "virtio") << "chain from head " << head
+                              << " truncated to " << chain.segments.size()
+                              << " segment(s)";
   }
   return chain;
 }
@@ -153,6 +211,21 @@ std::uint16_t Virtqueue::used_idx() const {
 std::uint64_t Virtqueue::kicks() const {
   std::lock_guard lock(mu_);
   return kick_count_;
+}
+
+std::uint64_t Virtqueue::dropped_kicks() const {
+  std::lock_guard lock(mu_);
+  return dropped_kicks_;
+}
+
+std::uint64_t Virtqueue::poisoned_chains() const {
+  std::lock_guard lock(mu_);
+  return poisoned_chains_;
+}
+
+std::uint64_t Virtqueue::truncated_chains() const {
+  std::lock_guard lock(mu_);
+  return truncated_chains_;
 }
 
 }  // namespace vphi::virtio

@@ -57,6 +57,11 @@ using MemTranslate =
 struct Chain {
   std::uint16_t head = 0;
   sim::Nanos kick_ts = 0;
+  /// The descriptor walk hit the size_ cap or an out-of-table index — the
+  /// guest posted a cyclic or corrupted chain. The device must not trust
+  /// any segment content; it should answer with an error response (or a
+  /// zero-length used entry) and move on.
+  bool poisoned = false;
   struct Segment {
     void* ptr = nullptr;
     std::uint32_t len = 0;
@@ -118,6 +123,13 @@ class Virtqueue {
   std::uint16_t avail_idx() const;
   std::uint16_t used_idx() const;
   std::uint64_t kicks() const;
+  /// Kicks swallowed by fault injection (kKickDrop).
+  std::uint64_t dropped_kicks() const;
+  /// Chains whose descriptor walk was cut short by the size_ cap (cyclic or
+  /// corrupted next pointers, genuine or injected).
+  std::uint64_t poisoned_chains() const;
+  /// Chains whose segment list lost its tail to fault injection.
+  std::uint64_t truncated_chains() const;
 
  private:
   sim::Expected<std::uint16_t> alloc_desc_locked();
@@ -137,6 +149,9 @@ class Virtqueue {
   std::uint16_t used_idx_ = 0;       ///< device's producer index
   std::uint16_t used_consumed_ = 0;  ///< driver's consumer index
   std::uint64_t kick_count_ = 0;
+  std::uint64_t dropped_kicks_ = 0;
+  std::uint64_t poisoned_chains_ = 0;
+  std::uint64_t truncated_chains_ = 0;
 
   sim::EventLine avail_event_;
 };

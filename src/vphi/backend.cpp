@@ -1,13 +1,24 @@
 #include "vphi/backend.hpp"
 
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "mic/sysfs.hpp"
 #include "sim/actor.hpp"
+#include "sim/fault.hpp"
+#include "sim/log.hpp"
 
 namespace vphi::core {
+
+namespace {
+constexpr bool known_op(Op op) noexcept {
+  const auto v = static_cast<std::uint32_t>(op);
+  return v >= static_cast<std::uint32_t>(Op::kOpen) &&
+         v <= static_cast<std::uint32_t>(Op::kCardInfo);
+}
+}  // namespace
 
 // --- policy -----------------------------------------------------------------
 
@@ -83,11 +94,33 @@ void BackendDevice::service_loop() {
   while (running_.load(std::memory_order_relaxed)) {
     auto chain = vm_->vq().pop_avail();
     if (!chain) break;  // ring shut down
+    if (chain->poisoned) {
+      // Cyclic/corrupted descriptor walk: nothing in the segment list can
+      // be trusted except the writable slots' geometry. Answer with a
+      // well-formed error response and recycle the chain.
+      VPHI_LOG(kWarn, "vphi-be")
+          << "rejecting poisoned chain head=" << chain->head;
+      {
+        std::lock_guard lock(mu_);
+        ++malformed_chains_;
+        ++poisoned_chains_;
+      }
+      reject_chain(*chain, sim::Status::kIoError, chain->kick_ts);
+      continue;
+    }
     if (chain->segments.empty() || chain->segments[0].ptr == nullptr ||
         chain->segments[0].len < sizeof(RequestHeader)) {
-      // Malformed chain: complete with an error if we can, else drop.
-      vm_->vq().push_used(chain->head, 0, chain->kick_ts);
-      vm_->inject_irq(chain->kick_ts);
+      // Malformed chain: no decodable request header. Answer with an error
+      // response if the chain left us a writable segment, else a
+      // zero-length used entry.
+      VPHI_LOG(kWarn, "vphi-be")
+          << "rejecting malformed chain head=" << chain->head << " ("
+          << chain->segments.size() << " segment(s))";
+      {
+        std::lock_guard lock(mu_);
+        ++malformed_chains_;
+      }
+      reject_chain(*chain, sim::Status::kInvalidArgument, chain->kick_ts);
       continue;
     }
     RequestHeader req;
@@ -118,6 +151,60 @@ void BackendDevice::service_loop() {
   }
 }
 
+void BackendDevice::reject_chain(const virtio::Chain& chain,
+                                 sim::Status status, sim::Nanos done_ts) {
+  // Find a writable slot big enough for a ResponseHeader. Even on a
+  // poisoned chain the writable segments are the guest's own response
+  // slots, so writing a well-formed error header there is always safe.
+  void* resp_ptr = nullptr;
+  for (const auto& seg : chain.segments) {
+    if (seg.device_writes && seg.ptr != nullptr &&
+        seg.len >= sizeof(ResponseHeader)) {
+      resp_ptr = seg.ptr;
+      break;
+    }
+  }
+  std::uint32_t written = 0;
+  if (resp_ptr != nullptr) {
+    ResponseHeader resp;
+    set_status(resp, status);
+    std::memcpy(resp_ptr, &resp, sizeof(ResponseHeader));
+    written = static_cast<std::uint32_t>(sizeof(ResponseHeader));
+  }
+  vm_->vq().push_used(chain.head, written, done_ts);
+  vm_->inject_irq(done_ts);
+}
+
+sim::Status BackendDevice::validate_request(const RequestHeader& req,
+                                            const void* out_payload,
+                                            std::uint32_t out_len,
+                                            const void* in_payload,
+                                            std::uint32_t in_capacity) const {
+  if (!known_op(req.op)) return sim::Status::kInvalidArgument;
+  // The header's payload_len is a *claim*; the chain's readable segment is
+  // the ground truth. A guest that claims more than it posted would walk
+  // the backend off the end of the bounce buffer.
+  if (req.payload_len > 0 &&
+      (out_payload == nullptr || req.payload_len > out_len)) {
+    return sim::Status::kBadAddress;
+  }
+  if (req.op == Op::kPoll) {
+    // arg0 = nepds. All bounds in 64-bit so a huge count cannot overflow
+    // into a small byte total.
+    constexpr std::uint64_t kMaxPollEpds =
+        std::numeric_limits<std::int32_t>::max() / sizeof(scif::PollEpd);
+    if (req.arg0 == 0 || req.arg0 > kMaxPollEpds) {
+      return sim::Status::kInvalidArgument;
+    }
+    const std::uint64_t bytes = req.arg0 * sizeof(scif::PollEpd);
+    if (out_payload == nullptr || bytes > req.payload_len ||
+        in_payload == nullptr || bytes > in_capacity) {
+      return sim::Status::kInvalidArgument;
+    }
+  }
+  return sim::Status::kOk;
+}
+
 void BackendDevice::process_chain(sim::Actor& actor,
                                   const virtio::Chain& chain) {
   const auto& m = vm_->model();
@@ -126,8 +213,10 @@ void BackendDevice::process_chain(sim::Actor& actor,
   RequestHeader req;
   std::memcpy(&req, chain.segments[0].ptr, sizeof(RequestHeader));
 
-  // Locate the optional payload segments around the two headers.
+  // Locate the optional payload segments around the two headers, recording
+  // each segment's *actual* length — the only geometry we trust.
   const void* out_payload = nullptr;
+  std::uint32_t out_len = 0;
   void* resp_ptr = nullptr;
   void* in_payload = nullptr;
   std::uint32_t in_capacity = 0;
@@ -135,8 +224,10 @@ void BackendDevice::process_chain(sim::Actor& actor,
     const auto& seg = chain.segments[i];
     if (!seg.device_writes) {
       out_payload = seg.ptr;
+      out_len = seg.len;
     } else if (resp_ptr == nullptr) {
       resp_ptr = seg.ptr;
+      if (seg.len < sizeof(ResponseHeader)) resp_ptr = nullptr;
     } else {
       in_payload = seg.ptr;
       in_capacity = seg.len;
@@ -145,30 +236,71 @@ void BackendDevice::process_chain(sim::Actor& actor,
 
   ResponseHeader resp;
   if (resp_ptr == nullptr) {
-    // No way to answer; just recycle the chain.
-    vm_->vq().push_used(chain.head, 0, actor.now());
-    vm_->inject_irq(actor.now());
+    // No usable response slot; reject (writes nothing, zero-length used).
+    VPHI_LOG(kWarn, "vphi-be") << "chain head=" << chain.head
+                               << " has no usable response segment";
+    {
+      std::lock_guard lock(mu_);
+      ++malformed_chains_;
+    }
+    reject_chain(chain, sim::Status::kInvalidArgument, actor.now());
     return;
   }
-  if (req.payload_len > 0 && out_payload == nullptr) {
-    set_status(resp, sim::Status::kBadAddress);
+  const sim::Status valid =
+      validate_request(req, out_payload, out_len, in_payload, in_capacity);
+  if (!sim::ok(valid)) {
+    VPHI_LOG(kWarn, "vphi-be")
+        << "request head=" << chain.head << " op="
+        << static_cast<std::uint32_t>(req.op) << " payload_len="
+        << req.payload_len << " failed validation: " << sim::to_string(valid);
+    {
+      std::lock_guard lock(mu_);
+      ++validation_failures_;
+    }
+    set_status(resp, valid);
   } else {
-    execute(actor, req, out_payload, in_payload, in_capacity, resp);
+    execute(actor, req, out_payload, out_len, in_payload, in_capacity, resp);
+  }
+
+  auto& fi = sim::fault_injector();
+  if (fi.should_fire(sim::FaultSite::kCorruptResponseStatus)) {
+    // A buggy backend build (or bit flip) answering with garbage: the
+    // status int is not a Status value and payload_len is absurd. The
+    // frontend's response validation must catch both.
+    resp.status = 0x0BADBEEF;
+    resp.payload_len = 0xFFFF'FFFF;
+  }
+  if (fi.should_fire(sim::FaultSite::kCorruptResponseRet)) {
+    // Plausible-looking header (valid status, sane payload_len) whose ret0
+    // violates per-op contracts, e.g. "bytes moved" larger than the chunk.
+    // Only the op layer (guest_scif) can catch this one.
+    set_status(resp, sim::Status::kOk);
+    resp.ret0 = std::numeric_limits<std::int64_t>::max() / 2;
+    resp.ret1 = -1;
+    resp.payload_len = 0;
   }
 
   std::memcpy(resp_ptr, &resp, sizeof(ResponseHeader));
   actor.advance(m.be_complete_ns);
-  vm_->vq().push_used(chain.head,
-                      static_cast<std::uint32_t>(sizeof(ResponseHeader)) +
-                          resp.payload_len,
-                      actor.now());
+  std::uint32_t written = static_cast<std::uint32_t>(sizeof(ResponseHeader)) +
+                          resp.payload_len;
+  if (fi.should_fire(sim::FaultSite::kShortUsedWrite)) {
+    // The used entry claims nothing was written even though the chain
+    // completed — the frontend must not parse the response header.
+    written = 0;
+  }
+  vm_->vq().push_used(chain.head, written, actor.now());
   vm_->inject_irq(actor.now());
 }
 
 void BackendDevice::execute(sim::Actor& actor, const RequestHeader& req,
-                            const void* out_payload, void* in_payload,
-                            std::uint32_t in_capacity, ResponseHeader& resp) {
+                            const void* out_payload, std::uint32_t out_len,
+                            void* in_payload, std::uint32_t in_capacity,
+                            ResponseHeader& resp) {
   (void)actor;  // provider calls charge sim::this_actor(), which is `actor`
+  // validate_request() has already proven payload_len <= out_len, so every
+  // read below that is bounded by req.payload_len stays inside the segment.
+  (void)out_len;
   auto& p = *provider_;
   set_status(resp, sim::Status::kOk);
 
@@ -428,6 +560,21 @@ std::uint64_t BackendDevice::op_count(Op op) const {
   std::lock_guard lock(mu_);
   auto it = op_counts_.find(op);
   return it == op_counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t BackendDevice::malformed_chains() const {
+  std::lock_guard lock(mu_);
+  return malformed_chains_;
+}
+
+std::uint64_t BackendDevice::poisoned_chains() const {
+  std::lock_guard lock(mu_);
+  return poisoned_chains_;
+}
+
+std::uint64_t BackendDevice::validation_failures() const {
+  std::lock_guard lock(mu_);
+  return validation_failures_;
 }
 
 }  // namespace vphi::core

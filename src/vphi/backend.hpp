@@ -73,15 +73,36 @@ class BackendDevice {
   std::uint64_t worker_requests() const;
   std::uint64_t blocking_requests() const;
   std::uint64_t op_count(Op op) const;
+  /// Chains rejected before decoding: missing/short header segment, no
+  /// usable response segment, or poisoned by the ring walk.
+  std::uint64_t malformed_chains() const;
+  /// Poisoned (cyclic/corrupted-walk) chains among the malformed ones.
+  std::uint64_t poisoned_chains() const;
+  /// Well-formed chains whose header failed validation against the actual
+  /// chain geometry (lying payload_len, bad op, bad poll bounds, ...).
+  std::uint64_t validation_failures() const;
 
  private:
   void service_loop();
   void process_chain(sim::Actor& actor, const virtio::Chain& chain);
+  /// The guest is untrusted: check every header field against the actual
+  /// chain geometry before dispatch. Returns kOk or the rejection status.
+  /// `out_len` is the measured length of the readable payload segment.
+  sim::Status validate_request(const RequestHeader& req,
+                               const void* out_payload, std::uint32_t out_len,
+                               const void* in_payload,
+                               std::uint32_t in_capacity) const;
+  /// Answer a chain that cannot be decoded: write a well-formed error
+  /// ResponseHeader into the first usable device-writable segment (if any)
+  /// and complete the chain. Malformed chains never die silently.
+  void reject_chain(const virtio::Chain& chain, sim::Status status,
+                    sim::Nanos done_ts);
   /// Execute one decoded request against the host provider. Returns the
   /// response plus bytes written into the response payload segment.
   void execute(sim::Actor& actor, const RequestHeader& req,
-               const void* out_payload, void* in_payload,
-               std::uint32_t in_capacity, ResponseHeader& resp);
+               const void* out_payload, std::uint32_t out_len,
+               void* in_payload, std::uint32_t in_capacity,
+               ResponseHeader& resp);
 
   hv::Vm* vm_;
   scif::Fabric* fabric_;
@@ -95,6 +116,9 @@ class BackendDevice {
   std::map<Op, std::uint64_t> op_counts_;
   std::uint64_t worker_requests_ = 0;
   std::uint64_t blocking_requests_ = 0;
+  std::uint64_t malformed_chains_ = 0;
+  std::uint64_t poisoned_chains_ = 0;
+  std::uint64_t validation_failures_ = 0;
 
   // scif_mmap bookkeeping: wire cookie -> live host mapping.
   std::mutex map_mu_;

@@ -2,7 +2,10 @@
 
 #include <cstring>
 #include <thread>
+#include <vector>
 
+#include "sim/fault.hpp"
+#include "sim/log.hpp"
 #include "virtio/device.hpp"
 #include "virtio/ring.hpp"
 
@@ -31,11 +34,32 @@ class KmallocGuard {
     return *this;
   }
   std::uint64_t gpa() const noexcept { return gpa_; }
+  /// Give up ownership without freeing (the gpa moves to the zombie list).
+  std::uint64_t release() noexcept {
+    ram_ = nullptr;
+    return gpa_;
+  }
 
  private:
   hv::GuestPhysMem* ram_ = nullptr;
   std::uint64_t gpa_ = 0;
 };
+
+/// Ops safe to transparently replay after a transport fault: they either
+/// read device state or re-assert it (a duplicate open leaks nothing the
+/// guest cannot close; a duplicate bind of the same port is rejected by the
+/// provider, not silently doubled).
+constexpr bool idempotent_op(Op op) noexcept {
+  switch (op) {
+    case Op::kOpen:
+    case Op::kBind:
+    case Op::kGetNodeIds:
+    case Op::kCardInfo:
+      return true;
+    default:
+      return false;
+  }
+}
 }  // namespace
 
 const char* wait_scheme_name(WaitScheme scheme) noexcept {
@@ -80,10 +104,29 @@ bool FrontendDriver::use_polling(std::size_t payload) const {
 }
 
 void FrontendDriver::drain_used(sim::Nanos ts_floor) {
+  // mu_ must already be held when get_used() runs: get_used frees the
+  // chain's descriptors, and the head->request match below has to be atomic
+  // with that free — otherwise another thread can reuse the head (add_buf
+  // also runs under mu_) and the old chain's used entry would be matched to
+  // the new request, handing it a response that was never written and
+  // losing the old request's completion. Lock order is mu_ -> ring lock on
+  // both paths.
+  std::lock_guard lock(mu_);
   while (auto used = vm_->vq().get_used()) {
-    std::lock_guard lock(mu_);
-    auto it = pending_.find(static_cast<std::uint16_t>(used->id));
-    if (it == pending_.end()) continue;  // stale/cancelled request
+    const auto head = static_cast<std::uint16_t>(used->id);
+    if (auto z = zombies_.find(head); z != zombies_.end()) {
+      // A timed-out request's chain finally completed: its parked bounce
+      // buffers are safe to recycle now that the device is done with them.
+      for (const std::uint64_t gpa : z->second) vm_->ram().kfree(gpa);
+      zombies_.erase(z);
+      continue;
+    }
+    auto owner = inflight_.find(head);
+    if (owner == inflight_.end()) continue;  // stale/cancelled request
+    const std::uint64_t seq = owner->second;
+    inflight_.erase(owner);
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) continue;  // owner gave up (timed out)
     it->second.completed = true;
     it->second.done_ts = std::max(used->ts, ts_floor);
     it->second.written = used->len;
@@ -96,6 +139,43 @@ void FrontendDriver::drain_used(sim::Nanos ts_floor) {
 void FrontendDriver::on_irq(sim::Nanos irq_ts) { drain_used(irq_ts); }
 
 sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
+    sim::Actor& actor, const TransactArgs& args) {
+  const Op op = args.header.op;
+  const bool retryable_op =
+      config_.request_timeout_ns > 0 && idempotent_op(op);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    auto result = transact_once(actor, args);
+    if (result.has_value()) return result;
+    const sim::Status st = result.status();
+    {
+      std::lock_guard lock(mu_);
+      auto& c = counters_[op];
+      ++c.errors;
+      if (st == sim::Status::kTimedOut) {
+        ++c.timeouts;
+        ++timeouts_;
+      }
+    }
+    // Only transport-level failures are worth replaying; a real backend
+    // error (kNoSuchEntry, kConnRefused, ...) would just repeat.
+    const bool transport_fault =
+        st == sim::Status::kTimedOut || st == sim::Status::kIoError;
+    if (!retryable_op || !transport_fault ||
+        attempt >= config_.max_retries) {
+      return st;
+    }
+    {
+      std::lock_guard lock(mu_);
+      ++counters_[op].retries;
+      ++retries_;
+    }
+    VPHI_LOG(kWarn, "vphi-fe")
+        << "op " << op_name(op) << " failed with " << sim::to_string(st)
+        << "; retry " << attempt + 1 << "/" << config_.max_retries;
+  }
+}
+
+sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact_once(
     sim::Actor& actor, const TransactArgs& args) {
   if (!probed_) return sim::Status::kNoDevice;
   if (args.out_len > chunk_size() || args.in_len > chunk_size()) {
@@ -114,6 +194,15 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
   header.payload_len = static_cast<std::uint32_t>(args.out_len);
   std::memcpy(ram.translate(*req_gpa, sizeof(RequestHeader)), &header,
               sizeof(RequestHeader));
+  if (sim::fault_injector().should_fire(sim::FaultSite::kCorruptRequestHeader)) {
+    // Scribble over the staged header after the driver wrote it — models a
+    // hostile or buggy guest mutating the in-flight request. The backend's
+    // validator must reject both the unknown op and the lying payload_len.
+    auto* h = static_cast<RequestHeader*>(
+        ram.translate(*req_gpa, sizeof(RequestHeader)));
+    h->op = static_cast<Op>(0xDEADBEEFu);
+    h->payload_len = 0xFFFF'FFFFu;
+  }
 
   KmallocGuard out_guard;
   std::uint64_t out_gpa = 0;
@@ -161,18 +250,62 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
   if (!polling) ticket = vm_->kernel().waitq().prepare();
 
   std::uint16_t head;
+  std::uint64_t seq;
   {
-    auto posted = vm_->vq().add_buf({out_refs, n_out}, {in_refs, n_in});
-    if (!posted) return posted.status();
-    head = *posted;
+    // mu_ is held *across* the publish: the instant add_buf makes the avail
+    // entry visible, a backend kicked by another thread may pop, execute and
+    // push the used entry — and a concurrent drain_used would drop it as
+    // stale before pending_ records the request. get_used() releases the
+    // ring lock before drain_used takes mu_, so that drain blocks here
+    // until the entry exists (no lock-order cycle).
     std::lock_guard lock(mu_);
-    pending_[head] = Pending{ticket, !polling, false, 0, 0};
+    auto posted = vm_->vq().add_buf({out_refs, n_out}, {in_refs, n_in});
+    if (!posted) {
+      if (!polling) vm_->kernel().waitq().cancel(ticket);
+      return posted.status();
+    }
+    head = *posted;
+    seq = next_seq_++;
+    pending_.emplace(seq, Pending{ticket, !polling, false, 0, 0});
+    inflight_[head] = seq;
     ++requests_;
   }
+  // Drop the head -> seq claim if this request stops waiting while its
+  // chain is still in the ring. Caller must hold mu_.
+  auto forget_inflight = [&] {
+    if (auto f = inflight_.find(head); f != inflight_.end() && f->second == seq) {
+      inflight_.erase(f);
+    }
+  };
 
   actor.advance(m.virtio_enqueue_ns);
   const sim::Nanos kick_ts = vm_->kick_cost(actor);
   vm_->vq().kick(kick_ts);
+
+  // The deadline is anchored at the simulation watermark, not the caller's
+  // own clock: device-side actors (backend workers, peer endpoints) may
+  // legitimately sit ahead of this vCPU's timeline, and a completion they
+  // stamp is not "late" just because the caller's clock lags. Only genuine
+  // extra delay beyond the newest time in the system counts against the
+  // timeout.
+  const bool bounded = config_.request_timeout_ns > 0;
+  const sim::Nanos deadline =
+      bounded ? std::max(actor.now(), sim::watermark()) +
+                    config_.request_timeout_ns
+              : 0;
+
+  // On a timeout the chain may still be owned by the device: move the
+  // bounce buffers to the zombie list (freed when the used entry finally
+  // surfaces) instead of freeing them under the device's feet. Caller must
+  // hold mu_.
+  auto park_buffers = [&] {
+    std::vector<std::uint64_t> gpas;
+    gpas.push_back(req_guard.release());
+    if (args.out_len > 0) gpas.push_back(out_guard.release());
+    gpas.push_back(resp_guard.release());
+    if (args.in_len > 0) gpas.push_back(in_guard.release());
+    zombies_[head] = std::move(gpas);
+  };
 
   // --- wait for completion per scheme ---------------------------------------
   std::uint32_t resp_written = 0;
@@ -181,59 +314,156 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
       std::lock_guard lock(mu_);
       ++interrupt_waits_;
     }
-    const auto waited = vm_->kernel().waitq().wait(ticket, actor);
-    if (!sim::ok(waited)) {
-      std::lock_guard lock(mu_);
-      pending_.erase(head);
-      return waited;
-    }
-    std::lock_guard lock(mu_);
-    resp_written = pending_[head].written;
-    pending_.erase(head);
-  } else {
-    // Busy-wait on the used ring; each probe costs poll_spin_ns of vCPU.
-    sim::Nanos burned = 0;
-    for (;;) {
-      drain_used(0);
-      bool done = false;
+    const sim::Status waited =
+        bounded ? vm_->kernel().waitq().wait_for(ticket, actor,
+                                                 config_.lost_request_grace)
+                : vm_->kernel().waitq().wait(ticket, actor);
+    if (waited == sim::Status::kTimedOut) {
+      bool completed = false;
       sim::Nanos done_ts = 0;
       {
         std::lock_guard lock(mu_);
-        auto it = pending_.find(head);
+        auto it = pending_.find(seq);
+        if (it != pending_.end() && it->second.completed) {
+          // drain_used raced the wall-clock deadline: the chain is done,
+          // the buffers are ours again.
+          completed = true;
+          done_ts = it->second.done_ts;
+          resp_written = it->second.written;
+          pending_.erase(it);
+        } else {
+          // Genuinely lost in the transport. Park the buffers and charge
+          // the simulated timeout the driver would have slept through.
+          pending_.erase(seq);
+          forget_inflight();
+          park_buffers();
+        }
+      }
+      if (!completed) {
+        actor.sync_to(deadline);
+        // Rescue kick: if the doorbell was dropped, the avail entry is
+        // still stranded in the ring — re-ring so the device processes it
+        // and its descriptors come back.
+        vm_->vq().kick(actor.now());
+        VPHI_LOG(kWarn, "vphi-fe")
+            << "op " << op_name(args.header.op) << " head=" << head
+            << " timed out (lost request)";
+        return sim::Status::kTimedOut;
+      }
+      if (done_ts > deadline) {
+        actor.sync_to(deadline);
+        return sim::Status::kTimedOut;
+      }
+      actor.sync_to(done_ts);
+    } else if (!sim::ok(waited)) {
+      std::lock_guard lock(mu_);
+      pending_.erase(seq);
+      forget_inflight();
+      return waited;
+    } else {
+      sim::Nanos done_ts = 0;
+      {
+        std::lock_guard lock(mu_);
+        auto it = pending_.find(seq);
+        done_ts = it->second.done_ts;
+        resp_written = it->second.written;
+        pending_.erase(it);
+      }
+      if (bounded && done_ts > deadline) {
+        // The completion surfaced, but past the simulated deadline (e.g. a
+        // delayed doorbell): the driver would have given up at `deadline`.
+        VPHI_LOG(kWarn, "vphi-fe")
+            << "op " << op_name(args.header.op) << " head=" << head
+            << " completed at " << done_ts << " > deadline " << deadline;
+        return sim::Status::kTimedOut;
+      }
+    }
+  } else {
+    // Busy-wait on the used ring; each probe costs poll_spin_ns of vCPU.
+    sim::Nanos burned = 0;
+    bool done = false;
+    bool timed_out = false;
+    sim::Nanos done_ts = 0;
+    for (;;) {
+      drain_used(0);
+      {
+        std::lock_guard lock(mu_);
+        auto it = pending_.find(seq);
         if (it != pending_.end() && it->second.completed) {
           done = true;
           done_ts = it->second.done_ts;
           resp_written = it->second.written;
           pending_.erase(it);
+        } else if (bounded && actor.now() >= deadline) {
+          pending_.erase(seq);
+          forget_inflight();
+          park_buffers();
+          timed_out = true;
         }
       }
       actor.advance(m.poll_spin_ns);
       burned += m.poll_spin_ns;
       if (done) {
-        actor.sync_to(done_ts);
+        if (bounded && done_ts > deadline) {
+          actor.sync_to(deadline);
+          timed_out = true;
+        } else {
+          actor.sync_to(done_ts);
+        }
         break;
       }
+      if (timed_out) break;
       std::this_thread::yield();
     }
-    std::lock_guard lock(mu_);
-    ++polled_waits_;
-    poll_cpu_burn_ += burned;
+    {
+      std::lock_guard lock(mu_);
+      ++polled_waits_;
+      poll_cpu_burn_ += burned;
+    }
+    if (timed_out) {
+      if (!done) vm_->vq().kick(actor.now());  // rescue a stranded chain
+      VPHI_LOG(kWarn, "vphi-fe")
+          << "op " << op_name(args.header.op) << " head=" << head
+          << " timed out (polling)";
+      return sim::Status::kTimedOut;
+    }
   }
 
   // Demux the response and copy any payload back to user space (copy 3ii).
   actor.advance(m.fe_complete_ns);
+  if (resp_written < sizeof(ResponseHeader)) {
+    // The device claims it wrote less than a full ResponseHeader — whatever
+    // sits in the response slot is garbage and must not be parsed.
+    VPHI_LOG(kWarn, "vphi-fe")
+        << "op " << op_name(args.header.op) << " head=" << head
+        << " used.len=" << resp_written << " < response header size";
+    std::lock_guard lock(mu_);
+    ++protocol_errors_;
+    return sim::Status::kIoError;
+  }
   TransactResult result;
   std::memcpy(&result.response, ram.translate(*resp_gpa, sizeof(ResponseHeader)),
               sizeof(ResponseHeader));
-  const std::size_t copy_back =
-      std::min<std::size_t>(result.response.payload_len, args.in_len);
+  if (!sim::valid_status_int(result.response.status) ||
+      result.response.payload_len > args.in_len) {
+    // The backend is as untrusted from the guest's side as the guest is
+    // from the backend's: a status outside sim::Status or a payload_len
+    // exceeding the buffer we posted means the response cannot be trusted.
+    VPHI_LOG(kWarn, "vphi-fe")
+        << "op " << op_name(args.header.op) << " head=" << head
+        << " malformed response: status=" << result.response.status
+        << " payload_len=" << result.response.payload_len;
+    std::lock_guard lock(mu_);
+    ++protocol_errors_;
+    return sim::Status::kIoError;
+  }
+  const std::size_t copy_back = result.response.payload_len;
   actor.advance(m.fe_copyback_fixed_ns +
                 sim::transfer_time(copy_back, m.guest_memcpy_Bps));
   if (copy_back > 0 && args.in_payload != nullptr) {
     std::memcpy(args.in_payload, ram.translate(in_gpa, copy_back), copy_back);
   }
   result.in_written = copy_back;
-  (void)resp_written;
   return result;
 }
 
@@ -255,6 +485,44 @@ std::uint64_t FrontendDriver::polled_waits() const {
 sim::Nanos FrontendDriver::poll_cpu_burn() const {
   std::lock_guard lock(mu_);
   return poll_cpu_burn_;
+}
+
+std::uint64_t FrontendDriver::timeouts() const {
+  std::lock_guard lock(mu_);
+  return timeouts_;
+}
+
+std::uint64_t FrontendDriver::retries() const {
+  std::lock_guard lock(mu_);
+  return retries_;
+}
+
+std::uint64_t FrontendDriver::protocol_errors() const {
+  std::lock_guard lock(mu_);
+  return protocol_errors_;
+}
+
+std::uint64_t FrontendDriver::op_errors(Op op) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(op);
+  return it == counters_.end() ? 0 : it->second.errors;
+}
+
+std::uint64_t FrontendDriver::op_timeouts(Op op) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(op);
+  return it == counters_.end() ? 0 : it->second.timeouts;
+}
+
+std::uint64_t FrontendDriver::op_retries(Op op) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(op);
+  return it == counters_.end() ? 0 : it->second.retries;
+}
+
+std::size_t FrontendDriver::pending_requests() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
 }
 
 }  // namespace vphi::core

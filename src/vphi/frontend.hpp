@@ -14,9 +14,11 @@
 //    threshold, sleep above it.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "hv/vm.hpp"
 #include "sim/actor.hpp"
@@ -41,6 +43,20 @@ struct FrontendConfig {
   /// — Linux will not hand out larger physically contiguous allocations.
   /// Ablation A4 sweeps this down to show the per-chunk ring overhead.
   std::size_t max_payload = hv::kKmallocMaxSize;
+
+  /// Per-request timeout in *simulated* time. 0 disables timeouts entirely
+  /// (legacy behavior: wait forever). When set, a request whose completion
+  /// is not visible by the deadline fails with kTimedOut.
+  sim::Nanos request_timeout_ns = 0;
+  /// Bounded retry for idempotent ops (open/bind/get_node_ids/card_info)
+  /// that fail with kTimedOut or kIoError. Non-idempotent ops never retry.
+  std::uint32_t max_retries = 2;
+  /// Wall-clock escape hatch backing the simulated timeout: a *lost*
+  /// request never advances simulated time, so the interrupt waiter also
+  /// arms a real-time deadline. Legitimate completions always arrive
+  /// wall-fast (simulated delays cost no wall time), so this only fires
+  /// when the transport genuinely dropped the request.
+  std::chrono::milliseconds lost_request_grace{100};
 };
 
 class FrontendDriver {
@@ -95,6 +111,19 @@ class FrontendDriver {
   std::uint64_t polled_waits() const;
   /// Simulated CPU time burned spinning (polling scheme).
   sim::Nanos poll_cpu_burn() const;
+  /// Requests that hit their deadline (total and per op).
+  std::uint64_t timeouts() const;
+  /// Transport-level retries issued (total and per op).
+  std::uint64_t retries() const;
+  /// Responses rejected by frontend validation: used.len shorter than a
+  /// ResponseHeader, a status int outside sim::Status, or a payload_len
+  /// exceeding the posted response-buffer capacity.
+  std::uint64_t protocol_errors() const;
+  std::uint64_t op_errors(Op op) const;
+  std::uint64_t op_timeouts(Op op) const;
+  std::uint64_t op_retries(Op op) const;
+  /// In-flight requests (tests assert this returns to zero after faults).
+  std::size_t pending_requests() const;
 
  private:
   struct Pending {
@@ -104,7 +133,16 @@ class FrontendDriver {
     sim::Nanos done_ts = 0;
     std::uint32_t written = 0;
   };
+  struct OpCounters {
+    std::uint64_t errors = 0;    ///< transact() attempts that failed
+    std::uint64_t timeouts = 0;  ///< ... of which hit the deadline
+    std::uint64_t retries = 0;   ///< retries issued for this op
+  };
 
+  /// One posted chain + wait + response parse. transact() wraps this in
+  /// the retry loop.
+  sim::Expected<TransactResult> transact_once(sim::Actor& actor,
+                                              const TransactArgs& args);
   /// Drain the used ring into pending_ and wake interrupt waiters.
   void on_irq(sim::Nanos irq_ts);
   void drain_used(sim::Nanos ts_floor);
@@ -115,10 +153,30 @@ class FrontendDriver {
   bool probed_ = false;
 
   mutable std::mutex mu_;
-  std::map<std::uint16_t, Pending> pending_;  // keyed by chain head
+  /// In-flight requests keyed by a per-request sequence number. The chain
+  /// head is NOT a stable key: its descriptors are freed the moment the
+  /// used entry is drained, so another thread can reuse the head while the
+  /// original waiter is still between wakeup and pickup — a head-keyed map
+  /// would let the new request overwrite (and the old waiter steal/erase)
+  /// the other's entry, silently dropping a completion.
+  std::map<std::uint64_t, Pending> pending_;
+  /// Which pending request currently owns each ring head. At most one
+  /// chain per head can be inside the ring at a time, so this is a plain
+  /// map; entries are erased when the used entry is drained or the owner
+  /// gives up.
+  std::map<std::uint16_t, std::uint64_t> inflight_;
+  std::uint64_t next_seq_ = 1;
+  /// Bounce buffers of timed-out requests, parked until the chain's used
+  /// entry finally surfaces — freeing them earlier would let a late backend
+  /// write land in re-kmalloc'd memory. Keyed by chain head.
+  std::map<std::uint16_t, std::vector<std::uint64_t>> zombies_;
+  std::map<Op, OpCounters> counters_;
   std::uint64_t requests_ = 0;
   std::uint64_t interrupt_waits_ = 0;
   std::uint64_t polled_waits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t protocol_errors_ = 0;
   sim::Nanos poll_cpu_burn_ = 0;
 };
 

@@ -128,8 +128,16 @@ sim::Expected<std::size_t> GuestScifProvider::send(int epd, const void* msg,
       if (sent_total > 0) return sent_total;  // partial like the real API
       return response_status(r->response);
     }
-    sent_total += static_cast<std::size_t>(r->response.ret0);
-    if (static_cast<std::size_t>(r->response.ret0) < chunk) break;
+    // ret0 = bytes the device consumed; a value outside [0, chunk] is a
+    // protocol violation (adding it unclamped would make sent_total lie to
+    // the caller and under/overflow the chunk walk).
+    const std::int64_t ret0 = r->response.ret0;
+    if (ret0 < 0 || static_cast<std::uint64_t>(ret0) > chunk) {
+      if (sent_total > 0) return sent_total;
+      return sim::Status::kIoError;
+    }
+    sent_total += static_cast<std::size_t>(ret0);
+    if (static_cast<std::size_t>(ret0) < chunk) break;
     if (len == 0) break;
   }
   return sent_total;
@@ -156,8 +164,15 @@ sim::Expected<std::size_t> GuestScifProvider::recv(int epd, void* msg,
       if (got_total > 0) return got_total;
       return response_status(r->response);
     }
-    got_total += static_cast<std::size_t>(r->response.ret0);
-    if (static_cast<std::size_t>(r->response.ret0) < chunk) break;
+    // ret0 = bytes the device produced; beyond the chunk it claims data the
+    // bounce buffer never held, so the copy-back would be garbage.
+    const std::int64_t ret0 = r->response.ret0;
+    if (ret0 < 0 || static_cast<std::uint64_t>(ret0) > chunk) {
+      if (got_total > 0) return got_total;
+      return sim::Status::kIoError;
+    }
+    got_total += static_cast<std::size_t>(ret0);
+    if (static_cast<std::size_t>(ret0) < chunk) break;
     if (len == 0) break;
   }
   return got_total;

@@ -3,7 +3,9 @@
 // micnativeloadex the paper implies when it rejects the ssh option.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
+#include <thread>
 
 #include "net/micshell.hpp"
 #include "net/veth.hpp"
@@ -168,6 +170,11 @@ TEST_F(NetFixture, DaemonCountsSessions) {
     ASSERT_TRUE(s1);
     auto s2 = ShellClient::connect(bed_.host_provider(), bed_.card_node());
     ASSERT_TRUE(s2);
+  }
+  // connect() returns at the SCIF rendezvous; the daemon's accept loop
+  // counts the session on its own thread, so give it time to be scheduled.
+  for (int i = 0; i < 2'000 && daemon_->sessions() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{2});
   }
   EXPECT_EQ(daemon_->sessions(), 2u);
 }

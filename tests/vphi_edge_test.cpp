@@ -6,10 +6,13 @@
 
 #include <cstring>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "scif/api.hpp"
+#include "scif/fabric.hpp"
 #include "sim/actor.hpp"
+#include "sim/fault.hpp"
 #include "sim/rng.hpp"
 #include "tools/mic_info.hpp"
 #include "tools/testbed.hpp"
@@ -349,6 +352,148 @@ TEST_P(StackStreamTest, RandomMessageSequencesArriveExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StackStreamTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- transport trust regressions -------------------------------------------
+//
+// One regression per guest-trust bug: each of these used to corrupt state,
+// overread memory or hang before the backend validator / frontend response
+// checks / bounded ring walk existed.
+
+/// Post a hand-crafted chain straight on the ring (no frontend driver, like
+/// a hostile guest would) and spin for the backend's response.
+ResponseHeader raw_roundtrip(hv::Vm& vm, const RequestHeader& req,
+                             std::size_t out_seg_len) {
+  auto& ram = vm.ram();
+  auto req_gpa = ram.kmalloc(sizeof(RequestHeader));
+  auto resp_gpa = ram.kmalloc(sizeof(ResponseHeader));
+  EXPECT_TRUE(req_gpa && resp_gpa);
+  std::memcpy(ram.translate(*req_gpa, sizeof(RequestHeader)), &req,
+              sizeof(RequestHeader));
+
+  virtio::BufferRef out[2] = {
+      {*req_gpa, static_cast<std::uint32_t>(sizeof(RequestHeader))}, {0, 0}};
+  std::size_t n_out = 1;
+  std::uint64_t out_gpa = 0;
+  if (out_seg_len > 0) {
+    auto gpa = ram.kmalloc(out_seg_len);
+    EXPECT_TRUE(gpa);
+    out_gpa = *gpa;
+    out[1] = {out_gpa, static_cast<std::uint32_t>(out_seg_len)};
+    n_out = 2;
+  }
+  virtio::BufferRef in[1] = {
+      {*resp_gpa, static_cast<std::uint32_t>(sizeof(ResponseHeader))}};
+
+  sim::Actor a{"hostile-guest"};
+  EXPECT_TRUE(vm.vq().add_buf({out, n_out}, {in, 1}));
+  vm.vq().kick(a.now());
+
+  for (;;) {
+    if (auto used = vm.vq().get_used()) {
+      EXPECT_GE(used->len, sizeof(ResponseHeader));
+      ResponseHeader resp;
+      std::memcpy(&resp, ram.translate(*resp_gpa, sizeof(ResponseHeader)),
+                  sizeof(ResponseHeader));
+      ram.kfree(*req_gpa);
+      ram.kfree(*resp_gpa);
+      if (out_seg_len > 0) ram.kfree(out_gpa);
+      return resp;
+    }
+    std::this_thread::yield();
+  }
+}
+
+TEST(BackendValidation, OverclaimedPayloadLenRejected) {
+  // Regression: the backend discarded the readable segment's length, so a
+  // header claiming payload_len = 8 KiB over a 4 KiB segment made kSend
+  // read 4 KiB of unrelated host memory.
+  const sim::CostModel model = sim::CostModel::paper();
+  hv::Vm vm{{.name = "lying-guest"}, model};
+  scif::Fabric fabric{model};
+  BackendDevice backend{vm, fabric};
+  backend.start();
+
+  RequestHeader req;
+  req.op = Op::kSend;
+  req.epd = 0;
+  req.payload_len = 8'192;  // twice what the chain actually carries
+  const ResponseHeader resp = raw_roundtrip(vm, req, 4'096);
+  EXPECT_EQ(response_status(resp), Status::kBadAddress);
+  EXPECT_GE(backend.validation_failures(), 1u);
+  backend.stop();
+}
+
+TEST(BackendValidation, PollCountOverflowRejected) {
+  // A poll request whose nepds * sizeof(PollEpd) overflows 32-bit math used
+  // to slip past the per-op bounds check.
+  const sim::CostModel model = sim::CostModel::paper();
+  hv::Vm vm{{.name = "poll-bomb"}, model};
+  scif::Fabric fabric{model};
+  BackendDevice backend{vm, fabric};
+  backend.start();
+
+  RequestHeader req;
+  req.op = Op::kPoll;
+  req.arg0 = (1ull << 62);  // absurd nepds
+  req.payload_len = 4'096;
+  const ResponseHeader resp = raw_roundtrip(vm, req, 4'096);
+  EXPECT_EQ(response_status(resp), Status::kInvalidArgument);
+  EXPECT_GE(backend.validation_failures(), 1u);
+  backend.stop();
+}
+
+class TrustRegression : public EdgeFixture {
+ protected:
+  void TearDown() override { sim::fault_injector().disarm_all(); }
+};
+
+TEST_F(TrustRegression, ShortUsedWriteSurfacesIoError) {
+  // Regression: the frontend ignored used.len entirely and parsed whatever
+  // bytes sat in the response slot — here, uninitialized kmalloc memory.
+  sim::fault_injector().arm_nth(sim::FaultSite::kShortUsedWrite, 1);
+  EXPECT_EQ(bed_.vm(0).guest_scif().get_node_ids().status(),
+            Status::kIoError);
+  EXPECT_GE(bed_.vm(0).frontend().protocol_errors(), 1u);
+}
+
+TEST_F(TrustRegression, CyclicChainAnsweredInsteadOfHanging) {
+  // Regression: the descriptor walk followed `next` unboundedly, so a chain
+  // whose terminator looped back to its head spun the service thread
+  // forever. Now it is poisoned, answered with kIoError, and recycled.
+  sim::fault_injector().arm_nth(sim::FaultSite::kCycleChain, 1);
+  auto& guest = bed_.vm(0).guest_scif();
+  EXPECT_EQ(guest.open().status(), Status::kIoError);
+  EXPECT_GE(bed_.vm(0).vm().vq().poisoned_chains(), 1u);
+  EXPECT_GE(bed_.vm(0).backend().poisoned_chains(), 1u);
+  // The transport survives the attack.
+  EXPECT_TRUE(guest.open());
+}
+
+TEST_F(TrustRegression, OversizedSendRetRejected) {
+  // Regression: send() added the backend's ret0 to its running total
+  // unclamped, so a corrupted "bytes sent" larger than the chunk made the
+  // byte-walk lie to the caller (and underflow the remaining length).
+  auto [guest_epd, card_epd] = guest_pair(6'200);
+  auto& guest = bed_.vm(0).guest_scif();
+  std::uint8_t buf[64] = {};
+  sim::fault_injector().arm_nth(sim::FaultSite::kCorruptResponseRet, 1);
+  EXPECT_EQ(guest.send(guest_epd, buf, sizeof(buf), SCIF_SEND_BLOCK).status(),
+            Status::kIoError);
+  (void)card_epd;
+}
+
+TEST_F(TrustRegression, OversizedRecvRetRejected) {
+  // Recv flavour of the same bug: ret0 beyond the chunk claimed data the
+  // bounce buffer never held, so the copy-back handed garbage to the user.
+  auto [guest_epd, card_epd] = guest_pair(6'201);
+  auto& guest = bed_.vm(0).guest_scif();
+  std::uint8_t b = 7;
+  ASSERT_TRUE(bed_.card_provider().send(card_epd, &b, 1, SCIF_SEND_BLOCK));
+  sim::fault_injector().arm_nth(sim::FaultSite::kCorruptResponseRet, 1);
+  std::uint8_t got[8] = {};
+  EXPECT_EQ(guest.recv(guest_epd, got, 1, SCIF_RECV_BLOCK).status(),
+            Status::kIoError);
+}
 
 }  // namespace
 }  // namespace vphi::core

@@ -1,0 +1,237 @@
+// Fault-injection sweep over the vPHI transport.
+//
+// Every sim::FaultSite is exercised under both waiting schemes (interrupt,
+// polling) and both backend execution modes (all-blocking, all-worker). Each
+// test asserts three things:
+//   1. the injected fault surfaces as the *right* sim::Status (or is healed
+//      by the bounded retry of idempotent ops) — never a hang or a crash;
+//   2. the fault is observable: injector fire counters plus the transport's
+//      own error/timeout/retry/malformed statistics moved;
+//   3. the transport heals: ring free descriptors, guest kmalloc accounting
+//      and the frontend pending map return to their pre-fault state.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+
+#include "sim/fault.hpp"
+#include "tools/testbed.hpp"
+
+namespace vphi::core {
+namespace {
+
+using scif::PortId;
+using scif::SCIF_ACCEPT_SYNC;
+using scif::SCIF_RECV_BLOCK;
+using scif::SCIF_SEND_BLOCK;
+using sim::FaultSite;
+using sim::Status;
+using tools::Testbed;
+using tools::TestbedConfig;
+
+/// (waiting scheme, run every op on a worker thread?)
+using FaultParam = std::tuple<WaitScheme, bool>;
+
+class FaultSweepTest : public ::testing::TestWithParam<FaultParam> {
+ protected:
+  void SetUp() override {
+    TestbedConfig cfg;
+    cfg.frontend.scheme = std::get<0>(GetParam());
+    cfg.frontend.request_timeout_ns = 50'000'000;  // 50 ms simulated
+    cfg.frontend.max_retries = 2;
+    cfg.frontend.lost_request_grace = std::chrono::milliseconds{250};
+    cfg.backend_policy.classify = std::get<1>(GetParam())
+                                      ? BackendPolicy::all_worker()
+                                      : BackendPolicy::all_blocking();
+    cfg.start_coi_daemon = false;
+    bed_ = std::make_unique<Testbed>(cfg);
+  }
+
+  void TearDown() override {
+    sim::fault_injector().disarm_all();
+    bed_.reset();
+  }
+
+  FrontendDriver& fe() { return bed_->vm(0).frontend(); }
+  BackendDevice& be() { return bed_->vm(0).backend(); }
+  hv::Vm& vm() { return bed_->vm(0).vm(); }
+  GuestScifProvider& guest() { return bed_->vm(0).guest_scif(); }
+
+  std::pair<int, int> guest_pair(scif::Port port) {
+    auto lep = bed_->card_provider().open();
+    EXPECT_TRUE(lep);
+    EXPECT_TRUE(bed_->card_provider().bind(*lep, port));
+    EXPECT_TRUE(sim::ok(bed_->card_provider().listen(*lep, 4)));
+    auto server = std::async(std::launch::async, [this, lep = *lep] {
+      sim::Actor a{"srv", sim::Actor::AtNow{}};
+      sim::ActorScope scope(a);
+      auto acc = bed_->card_provider().accept(lep, SCIF_ACCEPT_SYNC);
+      return acc ? acc->epd : -1;
+    });
+    auto epd = guest().open();
+    EXPECT_TRUE(epd);
+    EXPECT_TRUE(
+        sim::ok(guest().connect(*epd, PortId{bed_->card_node(), port})));
+    return {*epd, server.get()};
+  }
+
+  struct Snapshot {
+    std::uint16_t free_desc = 0;
+    std::uint64_t live_allocs = 0;
+    std::size_t pending = 0;
+  };
+  Snapshot snap() {
+    return {vm().vq().free_descriptors(), vm().ram().allocation_count(),
+            fe().pending_requests()};
+  }
+
+  /// The healing invariant: after the fault drains (rescue kicks and zombie
+  /// recycling are asynchronous), the ring, the guest allocator and the
+  /// pending map are exactly where they were before the faulted request.
+  void expect_restored(const Snapshot& before) {
+    sim::fault_injector().disarm_all();
+    for (int i = 0; i < 2'500; ++i) {
+      const Snapshot now = snap();
+      if (now.free_desc == before.free_desc &&
+          now.live_allocs == before.live_allocs &&
+          now.pending == before.pending) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds{2});
+    }
+    const Snapshot after = snap();
+    EXPECT_EQ(after.free_desc, before.free_desc);
+    EXPECT_EQ(after.live_allocs, before.live_allocs);
+    EXPECT_EQ(after.pending, before.pending);
+  }
+
+  std::unique_ptr<Testbed> bed_;
+};
+
+TEST_P(FaultSweepTest, KmallocEnomemSurfacesCleanly) {
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kKmallocNoMem, 1);
+  EXPECT_EQ(guest().open().status(), Status::kNoMemory);
+  EXPECT_GE(vm().ram().kmalloc_failures(), 1u);
+  EXPECT_GE(fe().op_errors(Op::kOpen), 1u);
+  EXPECT_EQ(fe().op_retries(Op::kOpen), 0u);  // ENOMEM is not transport loss
+  expect_restored(before);
+}
+
+TEST_P(FaultSweepTest, DroppedKickTimesOutAndRetriesIdempotent) {
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kKickDrop, 1);
+  auto epd = guest().open();
+  EXPECT_TRUE(epd);  // the bounded retry heals the lost doorbell
+  EXPECT_GE(vm().vq().dropped_kicks(), 1u);
+  EXPECT_GE(fe().timeouts(), 1u);
+  EXPECT_GE(fe().op_timeouts(Op::kOpen), 1u);
+  EXPECT_GE(fe().op_retries(Op::kOpen), 1u);
+  expect_restored(before);
+}
+
+TEST_P(FaultSweepTest, DroppedKickFailsNonIdempotentWithTimeout) {
+  auto epd = guest().open();
+  ASSERT_TRUE(epd);
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kKickDrop, 1);
+  EXPECT_EQ(guest().close(*epd), Status::kTimedOut);
+  EXPECT_GE(fe().op_timeouts(Op::kClose), 1u);
+  EXPECT_EQ(fe().op_retries(Op::kClose), 0u);  // close must not be replayed
+  expect_restored(before);
+}
+
+TEST_P(FaultSweepTest, DelayedKickMissesDeadlineAndRetries) {
+  const auto before = snap();
+  sim::FaultConfig cfg;
+  cfg.nth = 1;
+  cfg.max_fires = 1;
+  cfg.delay_ns = 250'000'000;  // 5x the request timeout
+  sim::fault_injector().arm(FaultSite::kKickDelay, cfg);
+  auto epd = guest().open();
+  EXPECT_TRUE(epd);
+  EXPECT_GE(fe().timeouts(), 1u);
+  EXPECT_GE(fe().op_retries(Op::kOpen), 1u);
+  expect_restored(before);
+}
+
+TEST_P(FaultSweepTest, CorruptRequestRejectedByBackendValidator) {
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kCorruptRequestHeader, 1);
+  EXPECT_EQ(guest().open().status(), Status::kInvalidArgument);
+  EXPECT_GE(be().validation_failures(), 1u);
+  expect_restored(before);
+}
+
+TEST_P(FaultSweepTest, CorruptResponseStatusCaughtAndRetried) {
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kCorruptResponseStatus, 1);
+  auto epd = guest().open();
+  EXPECT_TRUE(epd);
+  EXPECT_GE(fe().protocol_errors(), 1u);
+  EXPECT_GE(fe().op_retries(Op::kOpen), 1u);
+  expect_restored(before);
+}
+
+TEST_P(FaultSweepTest, CorruptResponseRetRejectedAtOpLayer) {
+  auto [guest_epd, card_epd] = guest_pair(7'000);
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kCorruptResponseRet, 1);
+  std::uint8_t buf[32] = {};
+  EXPECT_EQ(guest().send(guest_epd, buf, sizeof(buf), SCIF_SEND_BLOCK).status(),
+            Status::kIoError);
+  expect_restored(before);
+  (void)card_epd;
+}
+
+TEST_P(FaultSweepTest, ShortUsedWriteCaughtAndRetried) {
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kShortUsedWrite, 1);
+  auto ids = guest().get_node_ids();
+  EXPECT_TRUE(ids);  // idempotent op healed by retry
+  EXPECT_GE(fe().protocol_errors(), 1u);
+  EXPECT_GE(fe().op_retries(Op::kGetNodeIds), 1u);
+  expect_restored(before);
+}
+
+TEST_P(FaultSweepTest, TruncatedChainRejectedAndRetried) {
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kTruncateChain, 1);
+  auto epd = guest().open();
+  EXPECT_TRUE(epd);
+  EXPECT_GE(vm().vq().truncated_chains(), 1u);
+  EXPECT_GE(be().malformed_chains(), 1u);
+  EXPECT_GE(fe().protocol_errors(), 1u);  // the zero-length used entry
+  expect_restored(before);
+}
+
+TEST_P(FaultSweepTest, CyclicChainAnsweredWithErrorNotSpun) {
+  const auto before = snap();
+  sim::fault_injector().arm_nth(FaultSite::kCycleChain, 1);
+  // A cyclic chain yields a well-formed error response, not a retry (the
+  // response-level kIoError is the backend talking, not transport loss).
+  EXPECT_EQ(guest().open().status(), Status::kIoError);
+  EXPECT_GE(vm().vq().poisoned_chains(), 1u);
+  EXPECT_GE(be().poisoned_chains(), 1u);
+  expect_restored(before);
+  // The transport must remain fully usable afterwards.
+  EXPECT_TRUE(guest().open());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndModes, FaultSweepTest,
+    ::testing::Combine(::testing::Values(WaitScheme::kInterrupt,
+                                         WaitScheme::kPolling),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<FaultParam>& param_info) {
+      return std::string(wait_scheme_name(std::get<0>(param_info.param))) +
+             (std::get<1>(param_info.param) ? "_worker" : "_blocking");
+    });
+
+}  // namespace
+}  // namespace vphi::core
