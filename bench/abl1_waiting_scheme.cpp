@@ -55,6 +55,7 @@ void run() {
                "approaches native latency but burns vCPU; hybrid switches "
                "at a size threshold (the paper's future work)");
 
+  BenchJson json{"abl1_waiting_scheme"};
   sim::FigureTable table{"A1 guest send latency by waiting scheme (us)",
                          "msg_bytes"};
   sim::Series interrupt_s{"interrupt_us", {}, {}};
@@ -71,6 +72,9 @@ void run() {
     polling_s.add(static_cast<double>(size), poll.latency_us);
     hybrid_s.add(static_cast<double>(size), hybrid.latency_us);
     burn_s.add(static_cast<double>(size), poll.cpu_burn_us);
+    json.add("send_interrupt", size, irq.latency_us * 1e3, 0.0);
+    json.add("send_polling", size, poll.latency_us * 1e3, 0.0);
+    json.add("send_hybrid", size, hybrid.latency_us * 1e3, 0.0);
   }
   table.add_series(interrupt_s);
   table.add_series(polling_s);

@@ -51,6 +51,7 @@ void run() {
       "blocking freezes the VM for the transfer duration; workers pay a "
       "handoff but keep the event loop free (Sec. III tradeoff)");
 
+  BenchJson json{"abl2_backend_mode"};
   sim::FigureTable table{"A2 backend mode: latency + loop occupancy (us)",
                          "msg_bytes"};
   sim::Series block_lat{"blocking_us", {}, {}};
@@ -68,6 +69,8 @@ void run() {
     worker_lat.add(static_cast<double>(size), worker.latency_us);
     block_held.add(static_cast<double>(size), blocking.loop_held_us);
     worker_held.add(static_cast<double>(size), worker.loop_held_us);
+    json.add("send_blocking", size, blocking.latency_us * 1e3, 0.0);
+    json.add("send_worker", size, worker.latency_us * 1e3, 0.0);
   }
   table.add_series(block_lat);
   table.add_series(worker_lat);

@@ -98,6 +98,7 @@ void run() {
       "multiple VMs = multiple host SCIF processes; the card and link "
       "multiplex them (the capability no prior Xeon Phi solution offered)");
 
+  BenchJson json{"abl3_multivm_sharing"};
   sim::FigureTable table{"A3 concurrent RMA read throughput (GB/s)", "vms"};
   sim::Series per_min{"per_vm_min", {}, {}};
   sim::Series per_max{"per_vm_max", {}, {}};
@@ -110,6 +111,8 @@ void run() {
     per_min.add(n, r.min_gbps);
     per_max.add(n, r.max_gbps);
     aggregate.add(n, r.aggregate_gbps);
+    json.add("rma_read_aggregate_vms" + std::to_string(n), 8ull << 20, 0.0,
+             r.aggregate_gbps);
   }
   table.add_series(per_min);
   table.add_series(per_max);

@@ -61,6 +61,7 @@ void run() {
       "each chunk costs one ring round trip (~375 us); KMALLOC_MAX_SIZE = "
       "4 MiB bounds how much a single trip can carry");
 
+  BenchJson json{"abl4_chunk_size"};
   sim::FigureTable table{"A4 64 MiB guest send throughput vs chunk size",
                          "chunk_KiB"};
   sim::Series tput{"GBps", {}, {}};
@@ -72,6 +73,8 @@ void run() {
     tput.add(static_cast<double>(chunk >> 10), gbps);
     trips.add(static_cast<double>(chunk >> 10),
               static_cast<double>(kTotal / chunk));
+    json.add("send_chunk" + std::to_string(chunk >> 10) + "KiB", kTotal,
+             gbps > 0.0 ? static_cast<double>(kTotal) / gbps : 0.0, gbps);
   }
   table.add_series(tput);
   table.add_series(trips);

@@ -31,13 +31,16 @@ void run() {
   workloads::register_dgemm_kernel();
   mic::uos::Scheduler& sched = bed.card().scheduler();
 
+  BenchJson json{"abl5_oversubscription"};
   sim::FigureTable table{"A5 dgemm n=4096 on-card time vs threads", "threads"};
   sim::Series exec_s{"modeled_exec_s", {}, {}};
   sim::Series rate{"aggregate_GFLOPs", {}, {}};
 
   for (const std::uint32_t t : kThreads) {
-    exec_s.add(t, sim::to_seconds(workloads::mic_dgemm_time(sched, kN, t)));
+    const double secs = sim::to_seconds(workloads::mic_dgemm_time(sched, kN, t));
+    exec_s.add(t, secs);
     rate.add(t, sched.aggregate_flops_rate(t) / 1e9);
+    json.add("dgemm_t" + std::to_string(t), 2 * kN * kN * 8, secs * 1e9, 0.0);
   }
   table.add_series(exec_s);
   table.add_series(rate);

@@ -1,0 +1,94 @@
+// Ablation A7 — pipeline window depth on the vPHI RMA path.
+//
+// Beyond the paper: the serial chunk walk (window = 1, the paper's
+// implementation) posts chunk N+1 only after chunk N's completion has been
+// parsed, so a 64 MiB read pays one full ring round trip (~375 us) per
+// 16 MiB chunk back-to-back. Widening the window overlaps those round
+// trips: with EVENT_IDX notification coalescing the whole burst costs one
+// doorbell and one interrupt, and throughput approaches the DMA-bound
+// limit. The sweep saturates as soon as one in-flight chunk's DMA covers
+// the next chunk's ring trip (window 2 for 16 MiB chunks).
+#include <cstdio>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/stats.hpp"
+
+namespace vphi::bench {
+namespace {
+
+constexpr std::size_t kTotal = 64ull << 20;
+const std::size_t kWindows[] = {1, 2, 4, 8, 16};
+const std::size_t kSmokeWindows[] = {1, 4};
+constexpr int kRounds = 2;
+
+double measure_window(std::size_t window, scif::Port port) {
+  tools::TestbedConfig config{.card_backing_bytes = 192ull << 20,
+                              .vm_ram_bytes = 192ull << 20};
+  config.frontend.pipeline_window = window;
+  tools::Testbed bed{config};
+
+  RmaWindowServer server{bed, port, kTotal};
+  sim::Actor actor{"client", sim::Actor::AtNow{}};
+  sim::ActorScope scope(actor);
+  auto& guest = bed.vm(0).guest_scif();
+  const int epd = connect_to_card(bed, guest, port);
+  if (epd < 0) return 0.0;
+  std::uint8_t ready;
+  guest.recv(epd, &ready, 1, scif::SCIF_RECV_BLOCK);
+
+  auto buf = bed.vm(0).alloc_user_buffer(kTotal);
+  if (!buf) return 0.0;
+  auto reg = guest.register_mem(epd, *buf, kTotal, 0,
+                                scif::SCIF_PROT_READ | scif::SCIF_PROT_WRITE,
+                                0);
+  if (!reg) return 0.0;
+  const double gbps = measure_read_throughput(guest, epd, *reg, kTotal,
+                                              kRounds);
+  std::uint8_t bye = 0;
+  guest.send(epd, &bye, 1, scif::SCIF_SEND_BLOCK);
+  guest.close(epd);
+  bed.vm(0).free_user_buffer(*buf);
+  return gbps;
+}
+
+void run(bool smoke) {
+  print_header(
+      "Ablation A7: pipeline window depth on the vPHI RMA path",
+      "window 1 = the paper's serial chunk walk (~4.6 GB/s at 64 MiB); "
+      "wider windows overlap the per-chunk ring round trips under one "
+      "doorbell + one coalesced interrupt");
+
+  BenchJson json{"abl6_pipeline_window"};
+  sim::FigureTable table{"A7 64 MiB guest remote read vs pipeline window",
+                         "window"};
+  sim::Series tput{"GBps", {}, {}};
+
+  scif::Port port = 3'900;
+  const auto windows = smoke ? std::span<const std::size_t>(kSmokeWindows)
+                             : std::span<const std::size_t>(kWindows);
+  for (const std::size_t window : windows) {
+    const double gbps = measure_window(window, port++);
+    tput.add(static_cast<double>(window), gbps);
+    json.add("rma_read_w" + std::to_string(window), kTotal,
+             gbps > 0.0 ? static_cast<double>(kTotal) / gbps : 0.0, gbps);
+  }
+  table.add_series(tput);
+  table.print(std::cout);
+  std::printf(
+      "\n(the 64 MiB transfer is 4 chunks of rma_chunk = 16 MiB; the DMAs\n"
+      " serialize on the backend endpoint, so pipelining saves the ring\n"
+      " round trips, not the DMA time — and window 2 already saturates,\n"
+      " because one chunk's ~3.4 ms DMA more than covers the next chunk's\n"
+      " ~0.38 ms ring trip)\n");
+}
+
+}  // namespace
+}  // namespace vphi::bench
+
+int main(int argc, char** argv) {
+  vphi::bench::run(vphi::bench::smoke_mode(argc, argv));
+  return 0;
+}

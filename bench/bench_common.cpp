@@ -1,12 +1,50 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 namespace vphi::bench {
 
 void print_header(const char* figure, const char* paper_claim) {
   std::printf("# %s\n# paper: %s\n\n", figure, paper_claim);
   std::fflush(stdout);
+}
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+
+BenchJson::~BenchJson() { write(); }
+
+void BenchJson::add(const std::string& op, std::size_t size_bytes,
+                    double simulated_ns, double gbps) {
+  rows_.push_back(Row{op, size_bytes, simulated_ns, gbps});
+}
+
+void BenchJson::write() {
+  if (written_) return;
+  written_ = true;
+  std::ofstream out("BENCH_" + name_ + ".json");
+  if (!out) {
+    std::fprintf(stderr, "BENCH_%s.json: cannot open for writing\n",
+                 name_.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"" << name_ << "\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    out << "    {\"op\": \"" << r.op << "\", \"size\": " << r.size
+        << ", \"ns\": " << r.ns << ", \"gbps\": " << r.gbps << "}"
+        << (i + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote BENCH_%s.json (%zu rows)\n", name_.c_str(), rows_.size());
+}
+
+bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
 }
 
 LatencySink::LatencySink(tools::Testbed& bed, scif::Port port,

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "scif/provider.hpp"
@@ -22,6 +23,45 @@ namespace vphi::bench {
 /// Print a standard header naming the reproduced figure and the paper claim
 /// the run should be compared against.
 void print_header(const char* figure, const char* paper_claim);
+
+/// Machine-readable result sink: every bench binary registers its measured
+/// points here and writes `BENCH_<name>.json` into the working directory on
+/// destruction, so CI (the bench_smoke ctest) and plotting scripts never
+/// scrape the human tables. One row per measured point:
+///   {"op": "...", "size": bytes, "ns": simulated_ns, "gbps": GB_per_s}
+/// `ns` and `gbps` are redundant encodings of the same measurement where
+/// both make sense (gbps = size / ns); latency-style rows report gbps 0.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+  ~BenchJson();
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Record one measured point. Either `simulated_ns` or `gbps` may be 0
+  /// when the other is the natural unit; both are stored as given.
+  void add(const std::string& op, std::size_t size_bytes, double simulated_ns,
+           double gbps);
+
+  /// Write BENCH_<name>.json now (the destructor calls this at most once).
+  void write();
+
+ private:
+  struct Row {
+    std::string op;
+    std::size_t size = 0;
+    double ns = 0.0;
+    double gbps = 0.0;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
+
+/// True when `--smoke` is among the args: benches shrink their sweep to a
+/// CI-sized subset (fewer sizes, fewer rounds, no google-benchmark pass).
+bool smoke_mode(int argc, char** argv);
 
 /// Card-side echo-style sink for latency runs: accepts one connection and
 /// keeps consuming frames of exactly `frame` bytes until the peer closes.

@@ -1,0 +1,71 @@
+# bench_smoke ctest body. Runs the two pipelining-sensitive benches in
+# --smoke mode (reduced sweeps), checks their BENCH_*.json output parses,
+# and asserts the headline acceptance number: at 64 MiB the pipelined vPHI
+# RMA read is at least as fast as the serial one.
+#
+# Invoked as:
+#   cmake -DFIG5=<fig5 binary> -DABL6=<abl6 binary> -P check_smoke.cmake
+# with the working directory set to where the JSON files should land.
+
+foreach(_var FIG5 ABL6)
+  if(NOT DEFINED ${_var})
+    message(FATAL_ERROR "bench_smoke: -D${_var}=<path> is required")
+  endif()
+endforeach()
+
+foreach(_bin ${FIG5} ${ABL6})
+  execute_process(COMMAND ${_bin} --smoke RESULT_VARIABLE _rc
+                  OUTPUT_VARIABLE _out ERROR_VARIABLE _err)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_smoke: ${_bin} --smoke exited ${_rc}\n${_out}\n${_err}")
+  endif()
+endforeach()
+
+# Pull gbps for rows matching `op` at byte size `size` out of a BENCH json.
+function(bench_gbps json_file op size out_var)
+  file(READ ${json_file} _json)
+  string(JSON _nrows LENGTH "${_json}" rows)
+  if(_nrows EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: ${json_file} has no rows")
+  endif()
+  math(EXPR _last "${_nrows} - 1")
+  foreach(_i RANGE ${_last})
+    string(JSON _op GET "${_json}" rows ${_i} op)
+    string(JSON _size GET "${_json}" rows ${_i} size)
+    if(_op STREQUAL ${op} AND _size EQUAL ${size})
+      string(JSON _gbps GET "${_json}" rows ${_i} gbps)
+      set(${out_var} ${_gbps} PARENT_SCOPE)
+      return()
+    endif()
+  endforeach()
+  message(FATAL_ERROR
+          "bench_smoke: no row op=${op} size=${size} in ${json_file}")
+endfunction()
+
+math(EXPR _64mib "64 * 1024 * 1024")
+
+bench_gbps(BENCH_fig5_rma_throughput.json rma_read_vphi ${_64mib} _serial)
+bench_gbps(BENCH_fig5_rma_throughput.json rma_read_vphi_pipelined ${_64mib}
+           _piped)
+if(_serial LESS_EQUAL 0)
+  message(FATAL_ERROR "bench_smoke: serial vPHI throughput is ${_serial}")
+endif()
+if(_piped LESS _serial)
+  message(FATAL_ERROR
+          "bench_smoke: pipelined 64 MiB RMA read (${_piped} GB/s) is slower "
+          "than serial (${_serial} GB/s)")
+endif()
+
+# The ablation must agree: window 4 >= window 1 at the same total size.
+bench_gbps(BENCH_abl6_pipeline_window.json rma_read_w1 ${_64mib} _w1)
+bench_gbps(BENCH_abl6_pipeline_window.json rma_read_w4 ${_64mib} _w4)
+if(_w4 LESS _w1)
+  message(FATAL_ERROR
+          "bench_smoke: window-4 sweep point (${_w4} GB/s) is slower than "
+          "window 1 (${_w1} GB/s)")
+endif()
+
+message(STATUS
+        "bench_smoke OK: serial ${_serial} GB/s, pipelined ${_piped} GB/s, "
+        "ablation w1 ${_w1} -> w4 ${_w4} GB/s")

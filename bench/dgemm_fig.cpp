@@ -48,8 +48,9 @@ Point measure(tools::Testbed& bed, const coi::BinaryImage& image,
 }  // namespace
 
 void run_dgemm_figure(std::uint32_t threads, const char* figure,
-                      const char* claim) {
+                      const char* claim, const char* json_name) {
   print_header(figure, claim);
+  BenchJson json{json_name};
   tools::Testbed bed{tools::TestbedConfig{}};
   workloads::register_dgemm_kernel();
   const auto image = workloads::make_dgemm_image(bed.model());
@@ -71,6 +72,9 @@ void run_dgemm_figure(std::uint32_t threads, const char* figure,
         static_cast<double>(1 << 20);
     host.add(input_mib, point.host_s);
     vphi.add(input_mib, point.vphi_s);
+    const auto input_bytes = 2 * n * n * static_cast<std::size_t>(8);
+    json.add("dgemm_host", input_bytes, point.host_s * 1e9, 0.0);
+    json.add("dgemm_vphi", input_bytes, point.vphi_s * 1e9, 0.0);
   }
   table.add_series(host);
   table.add_series(vphi);

@@ -13,8 +13,9 @@
 
 namespace vphi::bench {
 
-/// Run the Fig. 6/7/8 sweep at `threads` and print the series.
+/// Run the Fig. 6/7/8 sweep at `threads`, print the series and write
+/// BENCH_<json_name>.json.
 void run_dgemm_figure(std::uint32_t threads, const char* figure,
-                      const char* claim);
+                      const char* claim, const char* json_name);
 
 }  // namespace vphi::bench

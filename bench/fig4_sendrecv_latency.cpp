@@ -47,6 +47,7 @@ sim::Nanos point(scif::Provider& provider, scif::Port port,
 void print_figure() {
   print_header("Figure 4: send-receive communication latency",
                "host 7 us @1B; vPHI 382 us @1B; offset constant with size");
+  BenchJson json{"fig4_sendrecv_latency"};
   sim::FigureTable table{"fig4 send/recv latency (us)", "msg_bytes"};
   sim::Series host{"host_us", {}, {}};
   sim::Series vphi{"vphi_us", {}, {}};
@@ -70,6 +71,8 @@ void print_figure() {
     vphi.add(static_cast<double>(size), sim::to_micros(vphi_lat));
     overhead.add(static_cast<double>(size),
                  sim::to_micros(vphi_lat - host_lat));
+    json.add("send_host", size, static_cast<double>(host_lat), 0.0);
+    json.add("send_vphi", size, static_cast<double>(vphi_lat), 0.0);
   }
   table.add_series(host);
   table.add_series(vphi);

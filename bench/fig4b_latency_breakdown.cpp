@@ -75,6 +75,12 @@ void run() {
   std::printf("measured end-to-end 1-byte latency: %.1f us "
               "(paper: 382 us)\n",
               sim::to_micros(measured));
+
+  BenchJson json{"fig4b_latency_breakdown"};
+  for (const auto& s : stages) {
+    json.add(s.name, 1, static_cast<double>(s.ns), 0.0);
+  }
+  json.add("end_to_end_1byte", 1, static_cast<double>(measured), 0.0);
 }
 
 }  // namespace

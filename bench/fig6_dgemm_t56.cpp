@@ -6,6 +6,7 @@ int main() {
   vphi::bench::run_dgemm_figure(
       56, "Figure 6: dgemm total time, 56 threads",
       "vPHI overhead visible at small sizes, amortized for large (seconds-"
-      "scale) runs");
+      "scale) runs",
+      "fig6_dgemm_t56");
   return 0;
 }

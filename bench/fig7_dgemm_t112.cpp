@@ -6,6 +6,7 @@ int main() {
   vphi::bench::run_dgemm_figure(
       112, "Figure 7: dgemm total time, 112 threads",
       "same shape as Fig. 6 at higher card throughput (2 threads/core "
-      "nearly doubles KNC issue rate)");
+      "nearly doubles KNC issue rate)",
+      "fig7_dgemm_t112");
   return 0;
 }

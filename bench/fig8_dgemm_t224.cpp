@@ -5,6 +5,7 @@
 int main() {
   vphi::bench::run_dgemm_figure(
       224, "Figure 8: dgemm total time, 224 threads",
-      "fastest on-card execution; vPHI overhead negligible for large runs");
+      "fastest on-card execution; vPHI overhead negligible for large runs",
+      "fig8_dgemm_t224");
   return 0;
 }

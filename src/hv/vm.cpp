@@ -11,8 +11,9 @@ Vm::Vm(const VmConfig& config, const sim::CostModel& model)
           [this](std::uint64_t gpa, std::uint32_t len) {
             return ram_.translate(gpa, len);
           }),
-      status_(virtio::VIRTIO_F_VERSION_1 | virtio::VPHI_F_SCIF |
-              virtio::VPHI_F_MMAP_PFN | virtio::VPHI_F_SYSFS_INFO),
+      status_(virtio::VIRTIO_F_VERSION_1 | virtio::VIRTIO_F_EVENT_IDX |
+              virtio::VPHI_F_SCIF | virtio::VPHI_F_MMAP_PFN |
+              virtio::VPHI_F_SYSFS_INFO),
       qemu_(config.name),
       mmu_(kernel_.vmas(), model) {}
 

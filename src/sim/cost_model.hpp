@@ -32,8 +32,11 @@ struct CostModel {
   // Scatter-gather descriptor cost per (4 KiB) page when the DMA target is
   // *not* physically contiguous on the host — i.e. pinned guest memory seen
   // through QEMU. Anchor: Fig. 5 — vPHI remote read tops out at 4.6 GB/s
-  // (72% of host): 1/4.6e9 - 1/6.45e9 = 62.4 ps/B * 4096 B = ~255 ns/page.
-  Nanos dma_sg_per_page_ns = 255;
+  // (72% of host). The guest driver issues one RMA command per
+  // FrontendConfig::rma_chunk (16 MiB), so a 64 MiB read pays 4 serial ring
+  // round trips (~380 us fixed each) on top of the DMA; 185 ns/page closes
+  // the rest of the 1/4.6e9 - 1/6.45e9 = 62.4 ps/B gap.
+  Nanos dma_sg_per_page_ns = 185;
   std::uint64_t dma_page_bytes = 4'096;
 
   // Programmed-I/O RMA (SCIF_RMA_USECPU): CPU loads/stores through the BAR.
@@ -77,6 +80,12 @@ struct CostModel {
   // Polling-mode alternative (ablation A1): the frontend spins on the used
   // ring instead of sleeping. Detection granularity of the spin loop.
   Nanos poll_spin_ns = 200;
+
+  // Pipelined transfers: cost of reaping an already-delivered completion
+  // from the used ring (no sleep, no interrupt — the coalesced IRQ of an
+  // earlier chunk in the window already drained it). This is what replaces
+  // the 357 us sleep/wake path for all but the last chunk of a batch.
+  Nanos pipeline_reap_ns = 500;
 
   // Backend worker-thread mode (ablation A2): cost of handing a request to a
   // worker and of the worker rejoining the event loop, vs. blocking the loop.

@@ -20,6 +20,10 @@ inline constexpr std::uint8_t VIRTIO_STATUS_FAILED = 0x80;
 
 /// Feature bits offered by the vPHI backend device.
 inline constexpr std::uint64_t VIRTIO_F_VERSION_1 = 1ull << 32;
+/// EVENT_IDX notification suppression (virtio 1.0 sec 2.6.7): driver and
+/// device publish used_event/avail_event indices so doorbells and interrupts
+/// are only delivered when the other side asked for them.
+inline constexpr std::uint64_t VIRTIO_F_EVENT_IDX = 1ull << 29;
 inline constexpr std::uint64_t VPHI_F_SCIF = 1ull << 0;        ///< SCIF transport
 inline constexpr std::uint64_t VPHI_F_MMAP_PFN = 1ull << 1;    ///< VM_PFNPHI path
 inline constexpr std::uint64_t VPHI_F_SYSFS_INFO = 1ull << 2;  ///< card info fwd

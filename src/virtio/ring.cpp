@@ -9,6 +9,15 @@ namespace vphi::virtio {
 
 namespace {
 bool is_pow2(std::uint16_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// virtio 1.0 sec 2.6.7.2: is a notification needed after moving the
+/// producer index from `old_idx` to `new_idx`, given the consumer asked to
+/// be notified once the index passes `event`? Wraparound-safe in u16.
+bool vring_need_event(std::uint16_t event, std::uint16_t new_idx,
+                      std::uint16_t old_idx) {
+  return static_cast<std::uint16_t>(new_idx - event - 1) <
+         static_cast<std::uint16_t>(new_idx - old_idx);
+}
 }  // namespace
 
 Virtqueue::Virtqueue(std::uint16_t size, MemTranslate translate)
@@ -18,6 +27,7 @@ Virtqueue::Virtqueue(std::uint16_t size, MemTranslate translate)
   if (!is_pow2(size)) std::abort();
   table_.resize(size_);
   avail_ring_.resize(size_);
+  avail_publish_ts_.resize(size_);
   used_ring_.resize(size_);
   // Chain all descriptors into the free list.
   for (std::uint16_t i = 0; i < size_; ++i) {
@@ -49,8 +59,19 @@ void Virtqueue::free_chain_locked(std::uint16_t head) {
   }
 }
 
+void Virtqueue::set_event_idx(bool enabled) {
+  std::lock_guard lock(mu_);
+  event_idx_ = enabled;
+}
+
+bool Virtqueue::event_idx_enabled() const {
+  std::lock_guard lock(mu_);
+  return event_idx_;
+}
+
 sim::Expected<std::uint16_t> Virtqueue::add_buf(std::span<const BufferRef> out,
-                                                std::span<const BufferRef> in) {
+                                                std::span<const BufferRef> in,
+                                                sim::Nanos publish_ts) {
   const std::size_t total = out.size() + in.size();
   if (total == 0) return sim::Status::kInvalidArgument;
   std::lock_guard lock(mu_);
@@ -78,8 +99,21 @@ sim::Expected<std::uint16_t> Virtqueue::add_buf(std::span<const BufferRef> out,
   for (const auto& ref : in) link(ref, true);
 
   avail_ring_[avail_idx_ % size_] = head;
+  avail_publish_ts_[avail_idx_ % size_] = publish_ts;
   ++avail_idx_;
   return head;
+}
+
+bool Virtqueue::kick_prepare() {
+  std::lock_guard lock(mu_);
+  const std::uint16_t old_idx = kick_point_;
+  kick_point_ = avail_idx_;
+  if (!event_idx_) return true;
+  if (vring_need_event(avail_event_shadow_, avail_idx_, old_idx)) return true;
+  // The device's avail_event is not inside the freshly published range: it
+  // is awake and draining, and will pick the entries up without a doorbell.
+  ++suppressed_kicks_;
+  return false;
 }
 
 void Virtqueue::kick(sim::Nanos visible_ts) {
@@ -129,7 +163,60 @@ std::optional<Chain> Virtqueue::pop_avail() {
   }
 }
 
+void Virtqueue::drain_avail_locked(std::vector<Chain>& out) {
+  while (auto chain = try_pop_avail_locked()) {
+    out.push_back(std::move(*chain));
+  }
+}
+
+std::vector<Chain> Virtqueue::pop_avail_batch() {
+  // Doorbell-first, like pop_avail: the device never scans the ring
+  // unprompted, so a chain whose kick was dropped stays stranded until a
+  // rescue kick — the lost-doorbell fault semantics depend on it. No
+  // suppressed entry can strand across the wait either: the arm below
+  // resets the shadow to the consumption point, which makes the *first*
+  // publish after every drain ring the doorbell (only the following
+  // publishes of a burst are suppressed, and the first one's raise covers
+  // them all).
+  std::vector<Chain> batch;
+  for (;;) {
+    auto raise_ts = avail_event_.wait();
+    if (!raise_ts) return {};  // ring shut down
+    std::lock_guard lock(mu_);
+    drain_avail_locked(batch);
+    // Arm avail_event at the consumption point, atomically with the drain
+    // (add_buf also runs under mu_): an entry published after this instant
+    // sees the armed event and kicks; one published before was caught by
+    // the drain above. And because the arm happens *before* this batch's
+    // completions are pushed (and therefore before the interrupt that
+    // wakes the driver's next submit), a serial driver's next kick_prepare
+    // always observes the device re-armed: serial kicks stay deterministic
+    // regardless of thread scheduling.
+    if (event_idx_) avail_event_shadow_ = avail_consumed_;
+    if (batch.empty()) continue;  // spurious raise (e.g. a rescue kick
+                                  // racing a completion): re-arm and wait
+    // Consume the extra doorbell raises that belong to entries just
+    // drained (a multi-kick burst collapses into one batch): any raise
+    // pending at this instant was issued after its entry became visible
+    // (publish happens-before kick), so that entry is in `batch`. Leaving
+    // them queued would let them masquerade later as fresh doorbells and
+    // "rescue" a chain whose kick was genuinely dropped.
+    while (auto extra = avail_event_.try_wait()) {
+      raise_ts = std::max(*raise_ts, *extra);
+    }
+    for (auto& chain : batch) {
+      chain.kick_ts = std::max(chain.kick_ts, *raise_ts);
+    }
+    return batch;
+  }
+}
+
 std::optional<Chain> Virtqueue::try_pop_avail() {
+  std::lock_guard lock(mu_);
+  return try_pop_avail_locked();
+}
+
+std::optional<Chain> Virtqueue::try_pop_avail_locked() {
   auto& fi = sim::fault_injector();
   // Simulated guest-side corruption: the device walk behaves as if the
   // chain's terminator pointed back at its head. Only the walk's *view* is
@@ -138,13 +225,18 @@ std::optional<Chain> Virtqueue::try_pop_avail() {
   const bool inject_cycle = fi.should_fire(sim::FaultSite::kCycleChain);
   const bool inject_truncate = fi.should_fire(sim::FaultSite::kTruncateChain);
 
-  std::lock_guard lock(mu_);
   if (avail_consumed_ == avail_idx_) return std::nullopt;
   const std::uint16_t head = avail_ring_[avail_consumed_ % size_];
+  const sim::Nanos publish_ts = avail_publish_ts_[avail_consumed_ % size_];
   ++avail_consumed_;
 
   Chain chain;
   chain.head = head;
+  // Lower bound for the device's view of the entry: when the doorbell is
+  // suppressed (EVENT_IDX) no raise timestamp exists, so the publish time
+  // carries the causality instead. pop_avail/pop_avail_batch still max()
+  // this with the kick's visible_ts when one was delivered.
+  chain.kick_ts = publish_ts;
   std::uint16_t d = head;
   std::uint16_t walked = 0;
   for (;;) {
@@ -182,6 +274,30 @@ std::optional<Chain> Virtqueue::try_pop_avail() {
   return chain;
 }
 
+bool Virtqueue::arm_used_event() {
+  std::lock_guard lock(mu_);
+  if (!event_idx_) return false;
+  used_event_shadow_ = used_consumed_;
+  // Arm-then-recheck: a completion pushed between the caller's last drain
+  // and this arm had its interrupt suppressed; tell the caller to re-drain
+  // instead of sleeping on an IRQ that will never come.
+  return used_idx_ != used_consumed_;
+}
+
+bool Virtqueue::should_interrupt() {
+  std::lock_guard lock(mu_);
+  if (!event_idx_) {
+    used_signal_point_ = used_idx_;
+    return true;
+  }
+  if (vring_need_event(used_event_shadow_, used_idx_, used_signal_point_)) {
+    used_signal_point_ = used_idx_;
+    return true;
+  }
+  ++suppressed_irqs_;
+  return false;
+}
+
 sim::Status Virtqueue::push_used(std::uint16_t head, std::uint32_t written,
                                  sim::Nanos done_ts) {
   std::lock_guard lock(mu_);
@@ -216,6 +332,16 @@ std::uint64_t Virtqueue::kicks() const {
 std::uint64_t Virtqueue::dropped_kicks() const {
   std::lock_guard lock(mu_);
   return dropped_kicks_;
+}
+
+std::uint64_t Virtqueue::suppressed_kicks() const {
+  std::lock_guard lock(mu_);
+  return suppressed_kicks_;
+}
+
+std::uint64_t Virtqueue::suppressed_irqs() const {
+  std::lock_guard lock(mu_);
+  return suppressed_irqs_;
 }
 
 std::uint64_t Virtqueue::poisoned_chains() const {

@@ -86,13 +86,29 @@ class Virtqueue {
 
   std::uint16_t size() const noexcept { return size_; }
 
+  /// Negotiated at probe time (VIRTIO_F_EVENT_IDX): both sides consult the
+  /// used_event/avail_event indices before notifying. Off by default so raw
+  /// ring users keep the legacy always-notify behavior.
+  void set_event_idx(bool enabled);
+  bool event_idx_enabled() const;
+
   // --- driver (guest) side -------------------------------------------------
 
   /// Post a chain: `out` buffers are device-readable, `in` buffers are
   /// device-writable (WRITE flag). Returns the chain's head descriptor id,
-  /// or kNoSpace when the table cannot hold the chain.
+  /// or kNoSpace when the table cannot hold the chain. `publish_ts` is the
+  /// simulated time the avail entry became visible; it bounds the chain's
+  /// kick_ts when the doorbell itself is suppressed (EVENT_IDX).
   sim::Expected<std::uint16_t> add_buf(std::span<const BufferRef> out,
-                                       std::span<const BufferRef> in);
+                                       std::span<const BufferRef> in,
+                                       sim::Nanos publish_ts = 0);
+
+  /// Ask whether a doorbell is needed for the entries published since the
+  /// last kick_prepare (virtqueue_kick_prepare). Always true with EVENT_IDX
+  /// off. With it on, false (and counted as suppressed) when the device has
+  /// not armed avail_event over the published range — i.e. it is already
+  /// draining and will see the entries without a vmexit.
+  bool kick_prepare();
 
   /// Notify the device that avail entries are pending. `visible_ts` is the
   /// simulated time the kick reaches the device (the caller has already
@@ -102,6 +118,13 @@ class Virtqueue {
   /// Non-blocking poll of the used ring. Frees the chain's descriptors.
   std::optional<UsedElem> get_used();
 
+  /// Driver side of EVENT_IDX: arm used_event at the current consumption
+  /// point ("interrupt me for the next completion"). Returns true when used
+  /// entries are already pending, in which case the caller must re-drain —
+  /// the arm raced a push_used whose interrupt was suppressed (the classic
+  /// lost-wakeup edge). No-op returning false when EVENT_IDX is off.
+  bool arm_used_event();
+
   // --- device (host) side -------------------------------------------------------
 
   /// Block until an avail chain is ready (or shutdown); resolve and return
@@ -109,6 +132,18 @@ class Virtqueue {
   std::optional<Chain> pop_avail();
   /// Non-blocking variant.
   std::optional<Chain> try_pop_avail();
+
+  /// Batch pop: drain every ready avail entry (one wakeup amortized over the
+  /// whole burst). Blocks when nothing is ready; with EVENT_IDX on it arms
+  /// avail_event and atomically rechecks before sleeping, so a suppressed
+  /// doorbell can never strand a published chain. An empty vector means the
+  /// ring shut down.
+  std::vector<Chain> pop_avail_batch();
+
+  /// Device side of EVENT_IDX, called after push_used: should a vIRQ be
+  /// injected for the entries pushed since the last interrupt? Always true
+  /// (and signal-point advancing) with EVENT_IDX off.
+  bool should_interrupt();
 
   /// Complete a chain: make it visible on the used ring at `done_ts` with
   /// `written` bytes produced. The caller raises the VM interrupt itself.
@@ -125,6 +160,10 @@ class Virtqueue {
   std::uint64_t kicks() const;
   /// Kicks swallowed by fault injection (kKickDrop).
   std::uint64_t dropped_kicks() const;
+  /// Doorbells elided because the device was already draining (EVENT_IDX).
+  std::uint64_t suppressed_kicks() const;
+  /// Interrupts elided because no driver armed used_event (EVENT_IDX).
+  std::uint64_t suppressed_irqs() const;
   /// Chains whose descriptor walk was cut short by the size_ cap (cyclic or
   /// corrupted next pointers, genuine or injected).
   std::uint64_t poisoned_chains() const;
@@ -134,6 +173,9 @@ class Virtqueue {
  private:
   sim::Expected<std::uint16_t> alloc_desc_locked();
   void free_chain_locked(std::uint16_t head);
+  std::optional<Chain> try_pop_avail_locked();
+  /// Drain every ready avail entry under mu_ into `out`.
+  void drain_avail_locked(std::vector<Chain>& out);
 
   std::uint16_t size_;
   MemTranslate translate_;
@@ -141,6 +183,7 @@ class Virtqueue {
   mutable std::mutex mu_;
   std::vector<Desc> table_;
   std::vector<std::uint16_t> avail_ring_;
+  std::vector<sim::Nanos> avail_publish_ts_;  ///< parallel to avail_ring_
   std::vector<UsedElem> used_ring_;
   std::uint16_t free_head_ = 0;      ///< head of the free-descriptor list
   std::uint16_t num_free_ = 0;
@@ -152,6 +195,15 @@ class Virtqueue {
   std::uint64_t dropped_kicks_ = 0;
   std::uint64_t poisoned_chains_ = 0;
   std::uint64_t truncated_chains_ = 0;
+
+  // --- EVENT_IDX state (virtio 1.0 sec 2.6.7) -------------------------------
+  bool event_idx_ = false;
+  std::uint16_t avail_event_shadow_ = 0;  ///< device: "kick me past this idx"
+  std::uint16_t kick_point_ = 0;      ///< driver: avail_idx_ at last prepare
+  std::uint16_t used_event_shadow_ = 0;   ///< driver: "irq me past this idx"
+  std::uint16_t used_signal_point_ = 0;   ///< device: used_idx_ at last irq
+  std::uint64_t suppressed_kicks_ = 0;
+  std::uint64_t suppressed_irqs_ = 0;
 
   sim::EventLine avail_event_;
 };

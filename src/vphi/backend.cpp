@@ -18,6 +18,11 @@ constexpr bool known_op(Op op) noexcept {
   return v >= static_cast<std::uint32_t>(Op::kOpen) &&
          v <= static_cast<std::uint32_t>(Op::kCardInfo);
 }
+
+constexpr bool transfer_op(Op op) noexcept {
+  return op == Op::kSend || op == Op::kRecv || op == Op::kReadfrom ||
+         op == Op::kWriteto || op == Op::kVreadfrom || op == Op::kVwriteto;
+}
 }  // namespace
 
 // --- policy -----------------------------------------------------------------
@@ -92,63 +97,115 @@ void BackendDevice::service_loop() {
   sim::Actor service_actor{vm_->name() + "-vphi-be"};
   sim::ActorScope scope(service_actor);
   while (running_.load(std::memory_order_relaxed)) {
-    auto chain = vm_->vq().pop_avail();
-    if (!chain) break;  // ring shut down
-    if (chain->poisoned) {
-      // Cyclic/corrupted descriptor walk: nothing in the segment list can
-      // be trusted except the writable slots' geometry. Answer with a
-      // well-formed error response and recycle the chain.
-      VPHI_LOG(kWarn, "vphi-be")
-          << "rejecting poisoned chain head=" << chain->head;
-      {
-        std::lock_guard lock(mu_);
-        ++malformed_chains_;
-        ++poisoned_chains_;
+    // Batch pop: one notification drains every ready avail entry (and
+    // under EVENT_IDX the guest suppressed the doorbells for all but the
+    // first of them). Each chain is still classified and dispatched
+    // individually below.
+    auto batch = vm_->vq().pop_avail_batch();
+    if (batch.empty()) break;  // ring shut down
+    for (auto& chain : batch) {
+      if (chain.poisoned) {
+        // Cyclic/corrupted descriptor walk: nothing in the segment list can
+        // be trusted except the writable slots' geometry. Answer with a
+        // well-formed error response and recycle the chain.
+        VPHI_LOG(kWarn, "vphi-be")
+            << "rejecting poisoned chain head=" << chain.head;
+        {
+          std::lock_guard lock(mu_);
+          ++malformed_chains_;
+          ++poisoned_chains_;
+        }
+        reject_chain(chain, sim::Status::kIoError, chain.kick_ts);
+        continue;
       }
-      reject_chain(*chain, sim::Status::kIoError, chain->kick_ts);
-      continue;
-    }
-    if (chain->segments.empty() || chain->segments[0].ptr == nullptr ||
-        chain->segments[0].len < sizeof(RequestHeader)) {
-      // Malformed chain: no decodable request header. Answer with an error
-      // response if the chain left us a writable segment, else a
-      // zero-length used entry.
-      VPHI_LOG(kWarn, "vphi-be")
-          << "rejecting malformed chain head=" << chain->head << " ("
-          << chain->segments.size() << " segment(s))";
-      {
-        std::lock_guard lock(mu_);
-        ++malformed_chains_;
+      if (chain.segments.empty() || chain.segments[0].ptr == nullptr ||
+          chain.segments[0].len < sizeof(RequestHeader)) {
+        // Malformed chain: no decodable request header. Answer with an error
+        // response if the chain left us a writable segment, else a
+        // zero-length used entry.
+        VPHI_LOG(kWarn, "vphi-be")
+            << "rejecting malformed chain head=" << chain.head << " ("
+            << chain.segments.size() << " segment(s))";
+        {
+          std::lock_guard lock(mu_);
+          ++malformed_chains_;
+        }
+        reject_chain(chain, sim::Status::kInvalidArgument, chain.kick_ts);
+        continue;
       }
-      reject_chain(*chain, sim::Status::kInvalidArgument, chain->kick_ts);
-      continue;
-    }
-    RequestHeader req;
-    std::memcpy(&req, chain->segments[0].ptr, sizeof(RequestHeader));
+      RequestHeader req;
+      std::memcpy(&req, chain.segments[0].ptr, sizeof(RequestHeader));
 
-    const ExecMode mode = policy_.classify(req.op, req.payload_len);
-    {
-      std::lock_guard lock(mu_);
-      ++op_counts_[req.op];
+      const ExecMode mode = policy_.classify(req.op, req.payload_len);
+      {
+        std::lock_guard lock(mu_);
+        ++op_counts_[req.op];
+        if (mode == ExecMode::kWorker) {
+          ++worker_requests_;
+        } else {
+          ++blocking_requests_;
+        }
+      }
+
       if (mode == ExecMode::kWorker) {
-        ++worker_requests_;
+        if (transfer_op(req.op)) {
+          // Same-endpoint transfers must not reorder: route through the
+          // endpoint's FIFO runner instead of an independent worker.
+          dispatch_ordered(chain, req.epd);
+          continue;
+        }
+        // Worker handoff: the loop spends a moment spawning/dispatching,
+        // the worker starts once the handoff is visible.
+        const sim::Nanos start_ts =
+            chain.kick_ts + vm_->model().worker_handoff_ns;
+        auto work = [this, chain = std::move(chain)](sim::Actor& actor) {
+          process_chain(actor, chain);
+        };
+        vm_->qemu().run_in_worker(std::move(work), start_ts);
       } else {
-        ++blocking_requests_;
+        auto work = [this, chain = std::move(chain)](sim::Actor& actor) {
+          process_chain(actor, chain);
+        };
+        vm_->qemu().post(std::move(work));
       }
-    }
-
-    auto work = [this, chain = *chain](sim::Actor& actor) {
-      process_chain(actor, chain);
-    };
-    if (mode == ExecMode::kWorker) {
-      // Worker handoff: the loop spends a moment spawning/dispatching, the
-      // worker starts once the handoff is visible.
-      vm_->qemu().run_in_worker(std::move(work),
-                                chain->kick_ts + vm_->model().worker_handoff_ns);
-    } else {
-      vm_->qemu().post(std::move(work));
     }
   }
+}
+
+void BackendDevice::dispatch_ordered(const virtio::Chain& chain, int epd) {
+  bool start_runner = false;
+  {
+    std::lock_guard lock(ep_mu_);
+    ep_queues_[epd].push_back(chain);
+    if (!ep_running_.contains(epd)) {
+      ep_running_.insert(epd);
+      start_runner = true;
+    }
+  }
+  if (!start_runner) return;
+  // One runner worker per active endpoint. It drains the queue in FIFO
+  // order on a single actor, so consecutive chunks of a pipelined stream
+  // execute back to back (one handoff amortized over the whole burst)
+  // and can never complete out of order.
+  auto runner = [this, epd](sim::Actor& actor) {
+    for (;;) {
+      virtio::Chain next;
+      {
+        std::lock_guard lock(ep_mu_);
+        auto it = ep_queues_.find(epd);
+        if (it == ep_queues_.end() || it->second.empty()) {
+          if (it != ep_queues_.end()) ep_queues_.erase(it);
+          ep_running_.erase(epd);
+          return;
+        }
+        next = std::move(it->second.front());
+        it->second.pop_front();
+      }
+      process_chain(actor, next);
+    }
+  };
+  vm_->qemu().run_in_worker(std::move(runner),
+                            chain.kick_ts + vm_->model().worker_handoff_ns);
 }
 
 void BackendDevice::reject_chain(const virtio::Chain& chain,
@@ -172,7 +229,9 @@ void BackendDevice::reject_chain(const virtio::Chain& chain,
     written = static_cast<std::uint32_t>(sizeof(ResponseHeader));
   }
   vm_->vq().push_used(chain.head, written, done_ts);
-  vm_->inject_irq(done_ts);
+  // EVENT_IDX: only interrupt if the driver's used_event asks for this
+  // completion; a coalesced batch raises one vIRQ for its newest entry.
+  if (vm_->vq().should_interrupt()) vm_->inject_irq(done_ts);
 }
 
 sim::Status BackendDevice::validate_request(const RequestHeader& req,
@@ -290,7 +349,10 @@ void BackendDevice::process_chain(sim::Actor& actor,
     written = 0;
   }
   vm_->vq().push_used(chain.head, written, actor.now());
-  vm_->inject_irq(actor.now());
+  // EVENT_IDX: suppress the vIRQ when the driver's used_event says it is
+  // not waiting for this entry (it will reap it from the used ring on the
+  // coalesced interrupt of a sibling, or on its own arm-then-recheck).
+  if (vm_->vq().should_interrupt()) vm_->inject_irq(actor.now());
 }
 
 void BackendDevice::execute(sim::Actor& actor, const RequestHeader& req,

@@ -18,10 +18,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "hv/vm.hpp"
@@ -85,6 +87,13 @@ class BackendDevice {
  private:
   void service_loop();
   void process_chain(sim::Actor& actor, const virtio::Chain& chain);
+  /// Worker dispatch for data-transfer ops: enqueue onto the endpoint's
+  /// ordered queue and (if none is active) start a runner worker that
+  /// drains it sequentially. A pipelined stream's chunks all target one
+  /// endpoint, so independent workers would race and could complete chunk
+  /// N+1's send before chunk N's — per-endpoint FIFO makes worker mode
+  /// order-safe while still overlapping work across endpoints.
+  void dispatch_ordered(const virtio::Chain& chain, int epd);
   /// The guest is untrusted: check every header field against the actual
   /// chain geometry before dispatch. Returns kOk or the rejection status.
   /// `out_len` is the measured length of the readable payload segment.
@@ -119,6 +128,11 @@ class BackendDevice {
   std::uint64_t malformed_chains_ = 0;
   std::uint64_t poisoned_chains_ = 0;
   std::uint64_t validation_failures_ = 0;
+
+  // Per-endpoint ordered worker queues (transfer ops in worker mode).
+  std::mutex ep_mu_;
+  std::map<int, std::deque<virtio::Chain>> ep_queues_;
+  std::set<int> ep_running_;
 
   // scif_mmap bookkeeping: wire cookie -> live host mapping.
   std::mutex map_mu_;

@@ -76,19 +76,26 @@ FrontendDriver::FrontendDriver(hv::Vm& vm, Config config)
 
 FrontendDriver::~FrontendDriver() {
   if (probed_) vm_->set_irq_handler(nullptr);
+  // A guest thread that Vm::shutdown() just woke may still be walking out
+  // of transact()/wait(); it touches pending_ / counters_ / mu_ on the way.
+  // Block until every such caller has left driver code.
+  std::unique_lock lock(active_mu_);
+  active_cv_.wait(lock, [&] { return active_calls_ == 0; });
 }
 
 sim::Status FrontendDriver::probe() {
   auto& status = vm_->device_status();
   status.set(virtio::VIRTIO_STATUS_ACKNOWLEDGE);
   status.set(virtio::VIRTIO_STATUS_DRIVER);
-  const std::uint64_t wanted = virtio::VIRTIO_F_VERSION_1 |
-                               virtio::VPHI_F_SCIF | virtio::VPHI_F_MMAP_PFN |
-                               virtio::VPHI_F_SYSFS_INFO;
+  std::uint64_t wanted = virtio::VIRTIO_F_VERSION_1 | virtio::VPHI_F_SCIF |
+                         virtio::VPHI_F_MMAP_PFN | virtio::VPHI_F_SYSFS_INFO;
+  if (config_.event_idx) wanted |= virtio::VIRTIO_F_EVENT_IDX;
   if (!status.negotiate(wanted & status.offered_features())) {
     return sim::Status::kNoDevice;
   }
   status.set(virtio::VIRTIO_STATUS_DRIVER_OK);
+  vm_->vq().set_event_idx(
+      (status.accepted_features() & virtio::VIRTIO_F_EVENT_IDX) != 0);
   vm_->set_irq_handler([this](sim::Nanos irq_ts) { on_irq(irq_ts); });
   probed_ = true;
   return sim::Status::kOk;
@@ -112,27 +119,44 @@ void FrontendDriver::drain_used(sim::Nanos ts_floor) {
   // losing the old request's completion. Lock order is mu_ -> ring lock on
   // both paths.
   std::lock_guard lock(mu_);
-  while (auto used = vm_->vq().get_used()) {
-    const auto head = static_cast<std::uint16_t>(used->id);
-    if (auto z = zombies_.find(head); z != zombies_.end()) {
-      // A timed-out request's chain finally completed: its parked bounce
-      // buffers are safe to recycle now that the device is done with them.
-      for (const std::uint64_t gpa : z->second) vm_->ram().kfree(gpa);
-      zombies_.erase(z);
-      continue;
+  for (;;) {
+    while (auto used = vm_->vq().get_used()) {
+      const auto head = static_cast<std::uint16_t>(used->id);
+      if (auto z = zombies_.find(head); z != zombies_.end()) {
+        // A timed-out request's chain finally completed: its parked bounce
+        // buffers are safe to recycle now that the device is done with them.
+        for (const std::uint64_t gpa : z->second) vm_->ram().kfree(gpa);
+        zombies_.erase(z);
+        continue;
+      }
+      auto owner = inflight_.find(head);
+      if (owner == inflight_.end()) continue;  // stale/cancelled request
+      const std::uint64_t seq = owner->second;
+      inflight_.erase(owner);
+      auto it = pending_.find(seq);
+      if (it == pending_.end()) continue;  // owner gave up (timed out)
+      it->second.completed = true;
+      it->second.done_ts = std::max(used->ts, ts_floor);
+      it->second.written = used->len;
+      if (it->second.interrupt_wait) {
+        vm_->kernel().waitq().complete(it->second.ticket, it->second.done_ts);
+      }
     }
-    auto owner = inflight_.find(head);
-    if (owner == inflight_.end()) continue;  // stale/cancelled request
-    const std::uint64_t seq = owner->second;
-    inflight_.erase(owner);
-    auto it = pending_.find(seq);
-    if (it == pending_.end()) continue;  // owner gave up (timed out)
-    it->second.completed = true;
-    it->second.done_ts = std::max(used->ts, ts_floor);
-    it->second.written = used->len;
-    if (it->second.interrupt_wait) {
-      vm_->kernel().waitq().complete(it->second.ticket, it->second.done_ts);
+    // EVENT_IDX re-arm (the NAPI pattern): this drain consumed the used
+    // index the sleeping waiters' used_event pointed at, so completions
+    // pushed from here on would be suppressed against a stale shadow. If
+    // any interrupt waiter is still in flight, advance the armed point to
+    // the new consumption index — and if the device raced a push in
+    // between, loop and drain that too instead of waiting for an IRQ that
+    // was already suppressed.
+    bool sleeper = false;
+    for (const auto& [seq, p] : pending_) {
+      if (p.interrupt_wait && !p.completed) {
+        sleeper = true;
+        break;
+      }
     }
+    if (!sleeper || !vm_->vq().arm_used_event()) break;
   }
 }
 
@@ -140,24 +164,23 @@ void FrontendDriver::on_irq(sim::Nanos irq_ts) { drain_used(irq_ts); }
 
 sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
     sim::Actor& actor, const TransactArgs& args) {
+  ActiveCall active{*this};
   const Op op = args.header.op;
   const bool retryable_op =
       config_.request_timeout_ns > 0 && idempotent_op(op);
   for (std::uint32_t attempt = 0;; ++attempt) {
-    auto result = transact_once(actor, args);
-    if (result.has_value()) return result;
-    const sim::Status st = result.status();
-    {
-      std::lock_guard lock(mu_);
-      auto& c = counters_[op];
-      ++c.errors;
-      if (st == sim::Status::kTimedOut) {
-        ++c.timeouts;
-        ++timeouts_;
-      }
+    sim::Status st;
+    auto token = submit(actor, args);
+    if (token.has_value()) {
+      auto result = wait(actor, *token);
+      if (result.has_value()) return result;
+      st = result.status();
+    } else {
+      st = token.status();
     }
-    // Only transport-level failures are worth replaying; a real backend
-    // error (kNoSuchEntry, kConnRefused, ...) would just repeat.
+    // Failure accounting already happened inside submit()/wait(). Only
+    // transport-level failures are worth replaying; a real backend error
+    // (kNoSuchEntry, kConnRefused, ...) would just repeat.
     const bool transport_fault =
         st == sim::Status::kTimedOut || st == sim::Status::kIoError;
     if (!retryable_op || !transport_fault ||
@@ -175,7 +198,64 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
   }
 }
 
-sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact_once(
+sim::Expected<FrontendDriver::Token> FrontendDriver::submit(
+    sim::Actor& actor, const TransactArgs& args) {
+  ActiveCall active{*this};
+  auto token = submit_once(actor, args);
+  if (!token.has_value()) record_failure(args.header.op, token.status());
+  return token;
+}
+
+sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait(
+    sim::Actor& actor, Token token) {
+  ActiveCall active{*this};
+  Op op = Op::kOpen;
+  bool known = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = pending_.find(token.seq);
+    if (it != pending_.end()) {
+      op = it->second.op;
+      known = true;
+    }
+  }
+  auto result = wait_once(actor, token);
+  if (!result.has_value() && known) record_failure(op, result.status());
+  return result;
+}
+
+std::vector<sim::Expected<FrontendDriver::TransactResult>>
+FrontendDriver::wait_all(sim::Actor& actor, std::span<const Token> tokens) {
+  ActiveCall active{*this};
+  std::vector<sim::Expected<TransactResult>> results;
+  results.reserve(tokens.size());
+  for (const Token& token : tokens) results.push_back(wait(actor, token));
+  return results;
+}
+
+void FrontendDriver::record_failure(Op op, sim::Status st) {
+  std::lock_guard lock(mu_);
+  auto& c = counters_[op];
+  ++c.errors;
+  if (st == sim::Status::kTimedOut) {
+    ++c.timeouts;
+    ++timeouts_;
+  }
+}
+
+void FrontendDriver::forget_inflight_locked(std::uint16_t head,
+                                            std::uint64_t seq) {
+  if (auto f = inflight_.find(head); f != inflight_.end() && f->second == seq) {
+    inflight_.erase(f);
+  }
+}
+
+void FrontendDriver::free_buffers(Pending& req) {
+  for (const std::uint64_t gpa : req.gpas) vm_->ram().kfree(gpa);
+  req.gpas.clear();
+}
+
+sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
     sim::Actor& actor, const TransactArgs& args) {
   if (!probed_) return sim::Status::kNoDevice;
   if (args.out_len > chunk_size() || args.in_len > chunk_size()) {
@@ -259,122 +339,178 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact_once(
     // ring lock before drain_used takes mu_, so that drain blocks here
     // until the entry exists (no lock-order cycle).
     std::lock_guard lock(mu_);
-    auto posted = vm_->vq().add_buf({out_refs, n_out}, {in_refs, n_in});
+    const sim::Nanos publish_ts = actor.now() + m.virtio_enqueue_ns;
+    auto posted = vm_->vq().add_buf({out_refs, n_out}, {in_refs, n_in},
+                                    publish_ts);
     if (!posted) {
       if (!polling) vm_->kernel().waitq().cancel(ticket);
       return posted.status();
     }
     head = *posted;
     seq = next_seq_++;
-    pending_.emplace(seq, Pending{ticket, !polling, false, 0, 0});
+    Pending p;
+    p.ticket = ticket;
+    p.interrupt_wait = !polling;
+    p.op = args.header.op;
+    p.head = head;
+    p.in_payload = args.in_payload;
+    p.in_len = args.in_len;
+    p.resp_gpa = *resp_gpa;
+    p.in_gpa = in_gpa;
+    p.gpas.push_back(req_guard.release());
+    if (args.out_len > 0) p.gpas.push_back(out_guard.release());
+    p.gpas.push_back(resp_guard.release());
+    if (args.in_len > 0) p.gpas.push_back(in_guard.release());
+    pending_.emplace(seq, std::move(p));
     inflight_[head] = seq;
     ++requests_;
   }
-  // Drop the head -> seq claim if this request stops waiting while its
-  // chain is still in the ring. Caller must hold mu_.
-  auto forget_inflight = [&] {
-    if (auto f = inflight_.find(head); f != inflight_.end() && f->second == seq) {
-      inflight_.erase(f);
-    }
-  };
 
   actor.advance(m.virtio_enqueue_ns);
-  const sim::Nanos kick_ts = vm_->kick_cost(actor);
-  vm_->vq().kick(kick_ts);
+  if (vm_->vq().kick_prepare()) {
+    const sim::Nanos kick_ts = vm_->kick_cost(actor);
+    vm_->vq().kick(kick_ts);
+  }
+  // else: EVENT_IDX said the device is already draining — the published
+  // entry rides the batch it is working through, no vmexit charged.
 
-  // The deadline is anchored at the simulation watermark, not the caller's
-  // own clock: device-side actors (backend workers, peer endpoints) may
-  // legitimately sit ahead of this vCPU's timeline, and a completion they
-  // stamp is not "late" just because the caller's clock lags. Only genuine
-  // extra delay beyond the newest time in the system counts against the
-  // timeout.
-  const bool bounded = config_.request_timeout_ns > 0;
-  const sim::Nanos deadline =
-      bounded ? std::max(actor.now(), sim::watermark()) +
-                    config_.request_timeout_ns
-              : 0;
+  if (config_.request_timeout_ns > 0) {
+    // The deadline is anchored at the simulation watermark, not the
+    // caller's own clock: device-side actors (backend workers, peer
+    // endpoints) may legitimately sit ahead of this vCPU's timeline, and a
+    // completion they stamp is not "late" just because the caller's clock
+    // lags. Only genuine extra delay beyond the newest time in the system
+    // counts against the timeout.
+    const sim::Nanos deadline =
+        std::max(actor.now(), sim::watermark()) + config_.request_timeout_ns;
+    std::lock_guard lock(mu_);
+    auto it = pending_.find(seq);
+    if (it != pending_.end()) it->second.deadline = deadline;
+  }
+  return Token{seq};
+}
 
-  // On a timeout the chain may still be owned by the device: move the
-  // bounce buffers to the zombie list (freed when the used entry finally
-  // surfaces) instead of freeing them under the device's feet. Caller must
-  // hold mu_.
-  auto park_buffers = [&] {
-    std::vector<std::uint64_t> gpas;
-    gpas.push_back(req_guard.release());
-    if (args.out_len > 0) gpas.push_back(out_guard.release());
-    gpas.push_back(resp_guard.release());
-    if (args.in_len > 0) gpas.push_back(in_guard.release());
-    zombies_[head] = std::move(gpas);
-  };
+sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
+    sim::Actor& actor, Token token) {
+  if (!probed_) return sim::Status::kNoDevice;
+  const auto& m = vm_->model();
 
-  // --- wait for completion per scheme ---------------------------------------
-  std::uint32_t resp_written = 0;
-  if (!polling) {
+  Pending req;
+  enum class Path { kFast, kInterrupt, kPolling } path;
+  std::uint64_t ticket = 0;
+  sim::Nanos deadline = 0;
+  Op op = Op::kOpen;
+  std::uint16_t head = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = pending_.find(token.seq);
+    if (it == pending_.end()) return sim::Status::kNoSuchEntry;
+    Pending& p = it->second;
+    if (p.completed && p.done_ts <= actor.now() &&
+        (p.deadline == 0 || p.done_ts <= p.deadline)) {
+      // Pipelined reap: the completion is already in this vCPU's past (the
+      // coalesced interrupt of an earlier chunk in the window drained it),
+      // so there is no sleep and no per-chunk wakeup cost — just the
+      // used-ring bookkeeping.
+      path = Path::kFast;
+      req = std::move(p);
+      pending_.erase(it);
+      ++fast_reaps_;
+    } else {
+      path = p.interrupt_wait ? Path::kInterrupt : Path::kPolling;
+      ticket = p.ticket;
+      deadline = p.deadline;
+      op = p.op;
+      head = p.head;
+    }
+  }
+
+  if (path == Path::kFast) {
+    if (req.interrupt_wait) vm_->kernel().waitq().cancel(req.ticket);
+    actor.advance(m.pipeline_reap_ns);
+    return finish(actor, req);
+  }
+
+  if (path == Path::kInterrupt) {
     {
       std::lock_guard lock(mu_);
       ++interrupt_waits_;
     }
+    // Arm-then-recheck (EVENT_IDX): arm used_event so the next completion
+    // interrupts us; while the arm reports used entries already pending
+    // (their interrupt was coalesced away before we armed), drain them
+    // ourselves instead of sleeping on an IRQ that will never come.
+    while (vm_->vq().arm_used_event()) drain_used(0);
     const sim::Status waited =
-        bounded ? vm_->kernel().waitq().wait_for(ticket, actor,
-                                                 config_.lost_request_grace)
-                : vm_->kernel().waitq().wait(ticket, actor);
+        deadline != 0 ? vm_->kernel().waitq().wait_for(
+                            ticket, actor, config_.lost_request_grace)
+                      : vm_->kernel().waitq().wait(ticket, actor);
     if (waited == sim::Status::kTimedOut) {
       bool completed = false;
-      sim::Nanos done_ts = 0;
       {
         std::lock_guard lock(mu_);
-        auto it = pending_.find(seq);
+        auto it = pending_.find(token.seq);
         if (it != pending_.end() && it->second.completed) {
           // drain_used raced the wall-clock deadline: the chain is done,
           // the buffers are ours again.
           completed = true;
-          done_ts = it->second.done_ts;
-          resp_written = it->second.written;
+          req = std::move(it->second);
           pending_.erase(it);
-        } else {
+        } else if (it != pending_.end()) {
           // Genuinely lost in the transport. Park the buffers and charge
           // the simulated timeout the driver would have slept through.
-          pending_.erase(seq);
-          forget_inflight();
-          park_buffers();
+          req = std::move(it->second);
+          pending_.erase(it);
+          forget_inflight_locked(head, token.seq);
+          zombies_[head] = std::move(req.gpas);
         }
       }
       if (!completed) {
         actor.sync_to(deadline);
-        // Rescue kick: if the doorbell was dropped, the avail entry is
-        // still stranded in the ring — re-ring so the device processes it
-        // and its descriptors come back.
+        // Rescue kick: if the doorbell was dropped (or suppressed along
+        // with it), the avail entry is still stranded in the ring —
+        // re-ring so the device processes it and its descriptors come
+        // back. Bypasses kick_prepare on purpose.
         vm_->vq().kick(actor.now());
+        // The parked zombie buffers are freed when the chain's used entry
+        // finally surfaces; make sure that completion reaches us even
+        // under interrupt suppression (no other waiter may ever arm).
+        if (vm_->vq().arm_used_event()) drain_used(0);
         VPHI_LOG(kWarn, "vphi-fe")
-            << "op " << op_name(args.header.op) << " head=" << head
+            << "op " << op_name(op) << " head=" << head
             << " timed out (lost request)";
         return sim::Status::kTimedOut;
       }
-      if (done_ts > deadline) {
+      if (req.done_ts > deadline) {
         actor.sync_to(deadline);
+        free_buffers(req);
         return sim::Status::kTimedOut;
       }
-      actor.sync_to(done_ts);
+      actor.sync_to(req.done_ts);
     } else if (!sim::ok(waited)) {
       std::lock_guard lock(mu_);
-      pending_.erase(seq);
-      forget_inflight();
+      auto it = pending_.find(token.seq);
+      if (it != pending_.end()) {
+        req = std::move(it->second);
+        pending_.erase(it);
+        forget_inflight_locked(head, token.seq);
+        free_buffers(req);
+      }
       return waited;
     } else {
-      sim::Nanos done_ts = 0;
       {
         std::lock_guard lock(mu_);
-        auto it = pending_.find(seq);
-        done_ts = it->second.done_ts;
-        resp_written = it->second.written;
+        auto it = pending_.find(token.seq);
+        req = std::move(it->second);
         pending_.erase(it);
       }
-      if (bounded && done_ts > deadline) {
+      if (deadline != 0 && req.done_ts > deadline) {
         // The completion surfaced, but past the simulated deadline (e.g. a
         // delayed doorbell): the driver would have given up at `deadline`.
         VPHI_LOG(kWarn, "vphi-fe")
-            << "op " << op_name(args.header.op) << " head=" << head
-            << " completed at " << done_ts << " > deadline " << deadline;
+            << "op " << op_name(op) << " head=" << head << " completed at "
+            << req.done_ts << " > deadline " << deadline;
+        free_buffers(req);
         return sim::Status::kTimedOut;
       }
     }
@@ -383,32 +519,31 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact_once(
     sim::Nanos burned = 0;
     bool done = false;
     bool timed_out = false;
-    sim::Nanos done_ts = 0;
     for (;;) {
       drain_used(0);
       {
         std::lock_guard lock(mu_);
-        auto it = pending_.find(seq);
+        auto it = pending_.find(token.seq);
         if (it != pending_.end() && it->second.completed) {
           done = true;
-          done_ts = it->second.done_ts;
-          resp_written = it->second.written;
+          req = std::move(it->second);
           pending_.erase(it);
-        } else if (bounded && actor.now() >= deadline) {
-          pending_.erase(seq);
-          forget_inflight();
-          park_buffers();
+        } else if (deadline != 0 && actor.now() >= deadline) {
+          req = std::move(it->second);
+          pending_.erase(it);
+          forget_inflight_locked(head, token.seq);
+          zombies_[head] = std::move(req.gpas);
           timed_out = true;
         }
       }
       actor.advance(m.poll_spin_ns);
       burned += m.poll_spin_ns;
       if (done) {
-        if (bounded && done_ts > deadline) {
+        if (deadline != 0 && req.done_ts > deadline) {
           actor.sync_to(deadline);
           timed_out = true;
         } else {
-          actor.sync_to(done_ts);
+          actor.sync_to(req.done_ts);
         }
         break;
       }
@@ -421,49 +556,71 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact_once(
       poll_cpu_burn_ += burned;
     }
     if (timed_out) {
-      if (!done) vm_->vq().kick(actor.now());  // rescue a stranded chain
+      if (!done) {
+        vm_->vq().kick(actor.now());  // rescue a stranded chain
+        if (vm_->vq().arm_used_event()) drain_used(0);
+      } else {
+        free_buffers(req);
+      }
       VPHI_LOG(kWarn, "vphi-fe")
-          << "op " << op_name(args.header.op) << " head=" << head
+          << "op " << op_name(op) << " head=" << head
           << " timed out (polling)";
       return sim::Status::kTimedOut;
     }
   }
 
+  return finish(actor, req);
+}
+
+sim::Expected<FrontendDriver::TransactResult> FrontendDriver::finish(
+    sim::Actor& actor, Pending& req) {
+  const auto& m = vm_->model();
+  auto& ram = vm_->ram();
+
   // Demux the response and copy any payload back to user space (copy 3ii).
   actor.advance(m.fe_complete_ns);
-  if (resp_written < sizeof(ResponseHeader)) {
+  if (req.written < sizeof(ResponseHeader)) {
     // The device claims it wrote less than a full ResponseHeader — whatever
     // sits in the response slot is garbage and must not be parsed.
     VPHI_LOG(kWarn, "vphi-fe")
-        << "op " << op_name(args.header.op) << " head=" << head
-        << " used.len=" << resp_written << " < response header size";
-    std::lock_guard lock(mu_);
-    ++protocol_errors_;
+        << "op " << op_name(req.op) << " head=" << req.head
+        << " used.len=" << req.written << " < response header size";
+    {
+      std::lock_guard lock(mu_);
+      ++protocol_errors_;
+    }
+    free_buffers(req);
     return sim::Status::kIoError;
   }
   TransactResult result;
-  std::memcpy(&result.response, ram.translate(*resp_gpa, sizeof(ResponseHeader)),
+  std::memcpy(&result.response,
+              ram.translate(req.resp_gpa, sizeof(ResponseHeader)),
               sizeof(ResponseHeader));
   if (!sim::valid_status_int(result.response.status) ||
-      result.response.payload_len > args.in_len) {
+      result.response.payload_len > req.in_len) {
     // The backend is as untrusted from the guest's side as the guest is
     // from the backend's: a status outside sim::Status or a payload_len
     // exceeding the buffer we posted means the response cannot be trusted.
     VPHI_LOG(kWarn, "vphi-fe")
-        << "op " << op_name(args.header.op) << " head=" << head
+        << "op " << op_name(req.op) << " head=" << req.head
         << " malformed response: status=" << result.response.status
         << " payload_len=" << result.response.payload_len;
-    std::lock_guard lock(mu_);
-    ++protocol_errors_;
+    {
+      std::lock_guard lock(mu_);
+      ++protocol_errors_;
+    }
+    free_buffers(req);
     return sim::Status::kIoError;
   }
   const std::size_t copy_back = result.response.payload_len;
   actor.advance(m.fe_copyback_fixed_ns +
                 sim::transfer_time(copy_back, m.guest_memcpy_Bps));
-  if (copy_back > 0 && args.in_payload != nullptr) {
-    std::memcpy(args.in_payload, ram.translate(in_gpa, copy_back), copy_back);
+  if (copy_back > 0 && req.in_payload != nullptr) {
+    std::memcpy(req.in_payload, ram.translate(req.in_gpa, copy_back),
+                copy_back);
   }
   result.in_written = copy_back;
+  free_buffers(req);
   return result;
 }
 
@@ -523,6 +680,11 @@ std::uint64_t FrontendDriver::op_retries(Op op) const {
 std::size_t FrontendDriver::pending_requests() const {
   std::lock_guard lock(mu_);
   return pending_.size();
+}
+
+std::uint64_t FrontendDriver::fast_reaps() const {
+  std::lock_guard lock(mu_);
+  return fast_reaps_;
 }
 
 }  // namespace vphi::core

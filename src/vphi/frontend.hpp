@@ -15,9 +15,11 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "hv/vm.hpp"
@@ -57,6 +59,21 @@ struct FrontendConfig {
   /// wall-fast (simulated delays cost no wall time), so this only fires
   /// when the transport genuinely dropped the request.
   std::chrono::milliseconds lost_request_grace{100};
+
+  /// Maximum chunks a pipelined bulk transfer keeps in flight at once
+  /// (guest_scif's send/recv/readfrom/writeto walks). 1 reproduces the
+  /// paper's serial chunk walk: chunk N+1 is not posted until chunk N's
+  /// completion has been parsed.
+  std::size_t pipeline_window = 1;
+  /// Negotiate VIRTIO_F_EVENT_IDX at probe time: the driver skips doorbells
+  /// while the device is already draining and the device coalesces
+  /// completion interrupts per batch (virtio 1.0 sec 2.6.7).
+  bool event_idx = true;
+  /// Per-command chunk size for RMA ops (readfrom/writeto). RMA carries no
+  /// ring payload — the data DMAs straight into the pinned window — so it
+  /// is not bound by KMALLOC_MAX_SIZE; this bounds the DMA each command
+  /// programs, and is what the pipelined walk overlaps.
+  std::size_t rma_chunk = 16ull << 20;
 };
 
 class FrontendDriver {
@@ -95,6 +112,32 @@ class FrontendDriver {
   sim::Expected<TransactResult> transact(sim::Actor& actor,
                                          const TransactArgs& args);
 
+  /// Handle for a request posted with submit(); redeem with wait().
+  struct Token {
+    std::uint64_t seq = 0;
+    explicit operator bool() const noexcept { return seq != 0; }
+  };
+
+  /// Async half of the pipelined path: stage the payload, post the chain
+  /// and (unless EVENT_IDX says the device is already draining) kick — then
+  /// return without waiting. Up to the ring's capacity of requests can be
+  /// in flight; GuestScifProvider bounds itself to
+  /// FrontendConfig::pipeline_window. The caller must eventually wait() on
+  /// every token returned (or the request's state leaks).
+  sim::Expected<Token> submit(sim::Actor& actor, const TransactArgs& args);
+
+  /// Redeem a token: block (per the configured waiting scheme) until the
+  /// request completes or times out, then parse the response and copy any
+  /// payload back. A completion that an earlier chunk's coalesced interrupt
+  /// already delivered is reaped for pipeline_reap_ns instead of a full
+  /// sleep/wake cycle. Timeout/retry/zombie semantics are identical to
+  /// transact()'s, per in-flight request.
+  sim::Expected<TransactResult> wait(sim::Actor& actor, Token token);
+
+  /// wait() every token in order; returns one result per token.
+  std::vector<sim::Expected<TransactResult>> wait_all(
+      sim::Actor& actor, std::span<const Token> tokens);
+
   /// Effective bounce-buffer size (config.max_payload clamped to the
   /// kmalloc cap).
   std::size_t chunk_size() const noexcept {
@@ -124,6 +167,9 @@ class FrontendDriver {
   std::uint64_t op_retries(Op op) const;
   /// In-flight requests (tests assert this returns to zero after faults).
   std::size_t pending_requests() const;
+  /// Completions reaped on the pipelined fast path (already delivered by a
+  /// coalesced interrupt — no sleep, no per-chunk wakeup cost).
+  std::uint64_t fast_reaps() const;
 
  private:
   struct Pending {
@@ -132,6 +178,15 @@ class FrontendDriver {
     bool completed = false;
     sim::Nanos done_ts = 0;
     std::uint32_t written = 0;
+    // Everything wait() needs to finish the request the submit started.
+    Op op = Op::kOpen;
+    std::uint16_t head = 0;      ///< chain head while in the ring
+    sim::Nanos deadline = 0;     ///< simulated deadline; 0 = unbounded
+    void* in_payload = nullptr;  ///< user buffer for the response payload
+    std::size_t in_len = 0;
+    std::uint64_t resp_gpa = 0;
+    std::uint64_t in_gpa = 0;        ///< 0 when in_len == 0
+    std::vector<std::uint64_t> gpas; ///< owned bounce buffers (park order)
   };
   struct OpCounters {
     std::uint64_t errors = 0;    ///< transact() attempts that failed
@@ -139,18 +194,49 @@ class FrontendDriver {
     std::uint64_t retries = 0;   ///< retries issued for this op
   };
 
-  /// One posted chain + wait + response parse. transact() wraps this in
-  /// the retry loop.
-  sim::Expected<TransactResult> transact_once(sim::Actor& actor,
-                                              const TransactArgs& args);
+  /// submit() minus the failure accounting.
+  sim::Expected<Token> submit_once(sim::Actor& actor,
+                                   const TransactArgs& args);
+  /// wait() minus the failure accounting.
+  sim::Expected<TransactResult> wait_once(sim::Actor& actor, Token token);
+  /// Response demux + copy-back + bounce-buffer free (the tail every
+  /// completion path shares).
+  sim::Expected<TransactResult> finish(sim::Actor& actor, Pending& req);
+  void free_buffers(Pending& req);
+  void record_failure(Op op, sim::Status st);
+  /// Drop the head -> seq claim if this request stops waiting while its
+  /// chain is still in the ring. mu_ must be held.
+  void forget_inflight_locked(std::uint16_t head, std::uint64_t seq);
   /// Drain the used ring into pending_ and wake interrupt waiters.
   void on_irq(sim::Nanos irq_ts);
   void drain_used(sim::Nanos ts_floor);
   bool use_polling(std::size_t payload) const;
 
+  /// RAII active-call marker so the destructor can drain callers that a VM
+  /// shutdown woke but that have not yet left driver code.
+  struct ActiveCall {
+    explicit ActiveCall(FrontendDriver& fe) : fe_(fe) {
+      std::lock_guard lock(fe_.active_mu_);
+      ++fe_.active_calls_;
+    }
+    ~ActiveCall() {
+      std::lock_guard lock(fe_.active_mu_);
+      if (--fe_.active_calls_ == 0) fe_.active_cv_.notify_all();
+    }
+    FrontendDriver& fe_;
+  };
+
   hv::Vm* vm_;
   Config config_;
   bool probed_ = false;
+
+  /// Teardown vs. woken-waiter race: Vm::shutdown() wakes every sleeping
+  /// waiter, but the waiter still has to walk back out through pending_ /
+  /// counters_ on its own thread. The destructor blocks until every
+  /// transact/submit/wait caller has left.
+  std::mutex active_mu_;
+  std::condition_variable active_cv_;
+  int active_calls_ = 0;
 
   mutable std::mutex mu_;
   /// In-flight requests keyed by a per-request sequence number. The chain
@@ -177,6 +263,7 @@ class FrontendDriver {
   std::uint64_t timeouts_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t protocol_errors_ = 0;
+  std::uint64_t fast_reaps_ = 0;
   sim::Nanos poll_cpu_burn_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "vphi/guest_scif.hpp"
 
 #include <cstring>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,80 @@ GuestScifProvider::~GuestScifProvider() = default;
 sim::Expected<FrontendDriver::TransactResult> GuestScifProvider::call(
     const FrontendDriver::TransactArgs& args) {
   return frontend_->transact(sim::this_actor(), args);
+}
+
+GuestScifProvider::PipelineResult GuestScifProvider::run_pipeline(
+    std::size_t total_len, std::size_t chunk, bool count_ret0,
+    const std::function<FrontendDriver::TransactArgs(std::size_t,
+                                                     std::size_t)>&
+        make_args) {
+  PipelineResult out;
+  auto& actor = sim::this_actor();
+  const std::size_t window =
+      std::max<std::size_t>(1, frontend_->config().pipeline_window);
+
+  struct InFlight {
+    FrontendDriver::Token token;
+    std::size_t len = 0;
+  };
+  std::deque<InFlight> inflight;
+  std::size_t next_offset = 0;
+  bool stop = false;  // submission closed (failure or short completion)
+
+  while ((!stop && next_offset < total_len) || !inflight.empty()) {
+    // Fill the window: submit ahead without waiting.
+    while (!stop && next_offset < total_len && inflight.size() < window) {
+      const std::size_t n = std::min(total_len - next_offset, chunk);
+      auto token = frontend_->submit(actor, make_args(next_offset, n));
+      if (!token) {
+        out.error = token.status();
+        stop = true;
+        break;
+      }
+      inflight.push_back({*token, n});
+      next_offset += n;
+    }
+    if (inflight.empty()) break;
+
+    // Reap strictly oldest-first: the completed prefix is only meaningful
+    // in submission order.
+    const InFlight f = inflight.front();
+    inflight.pop_front();
+    auto r = frontend_->wait(actor, f.token);
+    if (stop) continue;  // draining a straggler past the stop point
+    if (!r) {
+      out.error = r.status();
+      stop = true;
+      continue;
+    }
+    const sim::Status st = response_status(r->response);
+    if (!sim::ok(st)) {
+      out.error = st;
+      stop = true;
+      continue;
+    }
+    if (count_ret0) {
+      // ret0 = bytes the device moved; outside [0, chunk] is a protocol
+      // violation (counting it would make the prefix lie to the caller).
+      const std::int64_t ret0 = r->response.ret0;
+      if (ret0 < 0 || static_cast<std::uint64_t>(ret0) > f.len) {
+        out.error = sim::Status::kIoError;
+        stop = true;
+        continue;
+      }
+      out.bytes += static_cast<std::size_t>(ret0);
+      if (static_cast<std::size_t>(ret0) < f.len) {
+        // Legitimate short completion (EOF/peer reset): the walk ends at
+        // the in-order prefix; chunks already in flight beyond it are
+        // drained above and discarded.
+        out.short_stop = true;
+        stop = true;
+      }
+    } else {
+      out.bytes += f.len;
+    }
+  }
+  return out;
 }
 
 sim::Expected<std::uint64_t> GuestScifProvider::pin_user_range(
@@ -112,6 +187,25 @@ sim::Expected<std::size_t> GuestScifProvider::send(int epd, const void* msg,
   // this value, we implement the data transfer breaking up the allocation
   // to KMALLOC_MAX_SIZE elements and proceed with each one of them."
   const auto* bytes = static_cast<const std::byte*>(msg);
+  // Pipelining is only sound for blocking sends: a non-blocking chunk may
+  // legitimately accept fewer bytes than posted mid-stream, and chunks
+  // already in flight past that point would have sent out-of-order data.
+  if (len > 0 && frontend_->config().pipeline_window > 1 &&
+      (flags & scif::SCIF_SEND_BLOCK) != 0) {
+    auto pr = run_pipeline(
+        len, frontend_->chunk_size(), /*count_ret0=*/true,
+        [&](std::size_t off, std::size_t n) {
+          FrontendDriver::TransactArgs args;
+          args.header.op = Op::kSend;
+          args.header.epd = epd;
+          args.header.flags = flags;
+          args.out_payload = bytes + off;
+          args.out_len = n;
+          return args;
+        });
+    if (pr.bytes > 0 || sim::ok(pr.error)) return pr.bytes;
+    return pr.error;
+  }
   std::size_t sent_total = 0;
   while (sent_total < len || len == 0) {
     const std::size_t chunk =
@@ -123,7 +217,12 @@ sim::Expected<std::size_t> GuestScifProvider::send(int epd, const void* msg,
     args.out_payload = bytes + sent_total;
     args.out_len = chunk;
     auto r = call(args);
-    if (!r) return r.status();
+    if (!r) {
+      // Transport-level failure mid-walk: bytes up to here were consumed
+      // by the device, so report the partial count like the real API.
+      if (sent_total > 0) return sent_total;
+      return r.status();
+    }
     if (!sim::ok(response_status(r->response))) {
       if (sent_total > 0) return sent_total;  // partial like the real API
       return response_status(r->response);
@@ -147,6 +246,26 @@ sim::Expected<std::size_t> GuestScifProvider::recv(int epd, void* msg,
                                                    std::size_t len,
                                                    int flags) {
   auto* bytes = static_cast<std::byte*>(msg);
+  // Same gating as send(): a blocking recv only returns short at EOF/peer
+  // reset, so the pipelined walk's in-order completed prefix is exactly
+  // what a serial walk would have delivered.
+  if (len > 0 && frontend_->config().pipeline_window > 1 &&
+      (flags & scif::SCIF_RECV_BLOCK) != 0) {
+    auto pr = run_pipeline(
+        len, frontend_->chunk_size(), /*count_ret0=*/true,
+        [&](std::size_t off, std::size_t n) {
+          FrontendDriver::TransactArgs args;
+          args.header.op = Op::kRecv;
+          args.header.epd = epd;
+          args.header.flags = flags;
+          args.header.arg0 = n;
+          args.in_payload = bytes + off;
+          args.in_len = n;
+          return args;
+        });
+    if (pr.bytes > 0 || sim::ok(pr.error)) return pr.bytes;
+    return pr.error;
+  }
   std::size_t got_total = 0;
   while (got_total < len || len == 0) {
     const std::size_t chunk =
@@ -159,7 +278,12 @@ sim::Expected<std::size_t> GuestScifProvider::recv(int epd, void* msg,
     args.in_payload = bytes + got_total;
     args.in_len = chunk;
     auto r = call(args);
-    if (!r) return r.status();
+    if (!r) {
+      // Transport-level failure mid-walk: earlier chunks already landed in
+      // the caller's buffer — report the partial count, not the error.
+      if (got_total > 0) return got_total;
+      return r.status();
+    }
     if (!sim::ok(response_status(r->response))) {
       if (got_total > 0) return got_total;
       return response_status(r->response);
@@ -230,33 +354,69 @@ sim::Status GuestScifProvider::unregister_mem(int epd, scif::RegOffset offset,
 sim::Status GuestScifProvider::readfrom(int epd, scif::RegOffset loffset,
                                         std::size_t len,
                                         scif::RegOffset roffset, int flags) {
-  // RMA carries no ring payload: the command crosses, the data DMAs
-  // directly into the pinned guest window.
-  FrontendDriver::TransactArgs args;
-  args.header.op = Op::kReadfrom;
-  args.header.epd = epd;
-  args.header.arg0 = static_cast<std::uint64_t>(loffset);
-  args.header.arg1 = len;
-  args.header.arg2 = static_cast<std::uint64_t>(roffset);
-  args.header.flags = flags;
-  auto r = call(args);
-  if (!r) return r.status();
-  return response_status(r->response);
+  // RMA carries no ring payload: each command crosses the ring, the data
+  // DMAs directly into the pinned guest window. Transfers larger than
+  // FrontendConfig::rma_chunk issue one command per chunk — the walk the
+  // pipelined window overlaps.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, frontend_->config().rma_chunk);
+  if (len <= chunk) {
+    FrontendDriver::TransactArgs args;
+    args.header.op = Op::kReadfrom;
+    args.header.epd = epd;
+    args.header.arg0 = static_cast<std::uint64_t>(loffset);
+    args.header.arg1 = len;
+    args.header.arg2 = static_cast<std::uint64_t>(roffset);
+    args.header.flags = flags;
+    auto r = call(args);
+    if (!r) return r.status();
+    return response_status(r->response);
+  }
+  auto pr = run_pipeline(
+      len, chunk, /*count_ret0=*/false,
+      [&](std::size_t off, std::size_t n) {
+        FrontendDriver::TransactArgs args;
+        args.header.op = Op::kReadfrom;
+        args.header.epd = epd;
+        args.header.arg0 = static_cast<std::uint64_t>(loffset) + off;
+        args.header.arg1 = n;
+        args.header.arg2 = static_cast<std::uint64_t>(roffset) + off;
+        args.header.flags = flags;
+        return args;
+      });
+  return pr.error;
 }
 
 sim::Status GuestScifProvider::writeto(int epd, scif::RegOffset loffset,
                                        std::size_t len, scif::RegOffset roffset,
                                        int flags) {
-  FrontendDriver::TransactArgs args;
-  args.header.op = Op::kWriteto;
-  args.header.epd = epd;
-  args.header.arg0 = static_cast<std::uint64_t>(loffset);
-  args.header.arg1 = len;
-  args.header.arg2 = static_cast<std::uint64_t>(roffset);
-  args.header.flags = flags;
-  auto r = call(args);
-  if (!r) return r.status();
-  return response_status(r->response);
+  const std::size_t chunk =
+      std::max<std::size_t>(1, frontend_->config().rma_chunk);
+  if (len <= chunk) {
+    FrontendDriver::TransactArgs args;
+    args.header.op = Op::kWriteto;
+    args.header.epd = epd;
+    args.header.arg0 = static_cast<std::uint64_t>(loffset);
+    args.header.arg1 = len;
+    args.header.arg2 = static_cast<std::uint64_t>(roffset);
+    args.header.flags = flags;
+    auto r = call(args);
+    if (!r) return r.status();
+    return response_status(r->response);
+  }
+  auto pr = run_pipeline(
+      len, chunk, /*count_ret0=*/false,
+      [&](std::size_t off, std::size_t n) {
+        FrontendDriver::TransactArgs args;
+        args.header.op = Op::kWriteto;
+        args.header.epd = epd;
+        args.header.arg0 = static_cast<std::uint64_t>(loffset) + off;
+        args.header.arg1 = n;
+        args.header.arg2 = static_cast<std::uint64_t>(roffset) + off;
+        args.header.flags = flags;
+        return args;
+      });
+  return pr.error;
 }
 
 sim::Status GuestScifProvider::vreadfrom(int epd, void* addr, std::size_t len,

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 
@@ -77,6 +78,27 @@ class GuestScifProvider final : public scif::Provider {
   /// One wire round trip; wraps FrontendDriver::transact with this_actor().
   sim::Expected<FrontendDriver::TransactResult> call(
       const FrontendDriver::TransactArgs& args);
+
+  /// Outcome of a pipelined chunk walk.
+  struct PipelineResult {
+    std::size_t bytes = 0;  ///< in-order completed prefix
+    sim::Status error = sim::Status::kOk;  ///< first failure, kOk if clean
+    bool short_stop = false;  ///< a chunk legitimately completed short
+  };
+  /// The shared pipelined chunk walk behind send/recv/readfrom/writeto:
+  /// keeps up to FrontendConfig::pipeline_window chunks in flight (submit
+  /// ahead, reap oldest-first), stops submitting on the first failure or
+  /// short completion, and drains the remaining in-flight siblings —
+  /// discarding their results — so only the in-order completed prefix
+  /// counts. `count_ret0` selects stream semantics (ret0 = bytes moved,
+  /// validated to [0, chunk]; a short ret0 ends the walk) vs RMA semantics
+  /// (a kOk chunk moved exactly its full length). `make_args` builds the
+  /// wire request for the chunk at (offset, len).
+  PipelineResult run_pipeline(
+      std::size_t total_len, std::size_t chunk, bool count_ret0,
+      const std::function<FrontendDriver::TransactArgs(std::size_t,
+                                                       std::size_t)>&
+          make_args);
   /// Pin + translate a guest user range for register/vread/vwrite; returns
   /// the gpa.
   sim::Expected<std::uint64_t> pin_user_range(void* addr, std::size_t len);

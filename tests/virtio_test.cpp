@@ -213,6 +213,127 @@ TEST_P(RingChurnTest, DescriptorAccountingExact) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RingChurnTest,
                          ::testing::Values(101, 202, 303, 404, 505));
 
+// --- EVENT_IDX notification suppression (virtio 1.0 sec 2.6.7) --------------
+
+TEST(Virtqueue, EventIdxSuppressesKicksWhileDoorbellPending) {
+  FlatMem mem{4'096};
+  Virtqueue vq{8, mem.translator()};
+  vq.set_event_idx(true);
+  BufferRef out{0, 8};
+
+  // First publish from idle: the device armed avail_event at its consumption
+  // point, so the doorbell is needed (the idle->busy edge is never elided).
+  auto h1 = vq.add_buf({&out, 1}, {}, 10);
+  ASSERT_TRUE(h1);
+  EXPECT_TRUE(vq.kick_prepare());
+  vq.kick(100);
+
+  // Second publish while that doorbell is still pending: the device has not
+  // re-armed past it, so the kick is suppressed — the burst rides the first
+  // entry's doorbell.
+  auto h2 = vq.add_buf({&out, 1}, {}, 20);
+  ASSERT_TRUE(h2);
+  EXPECT_FALSE(vq.kick_prepare());
+  EXPECT_EQ(vq.suppressed_kicks(), 1u);
+
+  // The suppressed chain is still drained: one wakeup, both chains.
+  auto batch = vq.pop_avail_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].head, *h1);
+  EXPECT_EQ(batch[1].head, *h2);
+  // The suppressed entry's visibility is bounded by the covering doorbell.
+  EXPECT_GE(batch[1].kick_ts, 100);
+
+  // Back to idle: the device re-armed at its new consumption point inside
+  // the drain, so the next publish needs a doorbell again.
+  auto h3 = vq.add_buf({&out, 1}, {}, 30);
+  ASSERT_TRUE(h3);
+  EXPECT_TRUE(vq.kick_prepare());
+  EXPECT_EQ(vq.suppressed_kicks(), 1u);
+}
+
+TEST(Virtqueue, EventIdxCoalescesInterruptsPerBatch) {
+  FlatMem mem{4'096};
+  Virtqueue vq{8, mem.translator()};
+  vq.set_event_idx(true);
+  BufferRef out{0, 8};
+  auto h1 = vq.add_buf({&out, 1}, {}, 0);
+  auto h2 = vq.add_buf({&out, 1}, {}, 0);
+  ASSERT_TRUE(h1);
+  ASSERT_TRUE(h2);
+  vq.kick(50);
+  auto batch = vq.pop_avail_batch();
+  ASSERT_EQ(batch.size(), 2u);
+
+  // First completion of the batch crosses used_event -> interrupt.
+  ASSERT_EQ(vq.push_used(*h1, 0, 200), sim::Status::kOk);
+  EXPECT_TRUE(vq.should_interrupt());
+  // Second completion before the driver re-armed -> coalesced.
+  ASSERT_EQ(vq.push_used(*h2, 0, 210), sim::Status::kOk);
+  EXPECT_FALSE(vq.should_interrupt());
+  EXPECT_EQ(vq.suppressed_irqs(), 1u);
+
+  // One IRQ, two completions drained.
+  EXPECT_TRUE(vq.get_used());
+  EXPECT_TRUE(vq.get_used());
+  EXPECT_FALSE(vq.get_used());
+  // Re-arm with nothing pending: clean, no forced re-drain.
+  EXPECT_FALSE(vq.arm_used_event());
+
+  // Next completion after the re-arm gets its own interrupt (busy->idle->
+  // busy edge is never suppressed).
+  auto h3 = vq.add_buf({&out, 1}, {}, 0);
+  ASSERT_TRUE(h3);
+  vq.kick(300);
+  ASSERT_EQ(vq.pop_avail_batch().size(), 1u);
+  ASSERT_EQ(vq.push_used(*h3, 0, 400), sim::Status::kOk);
+  EXPECT_TRUE(vq.should_interrupt());
+  EXPECT_EQ(vq.suppressed_irqs(), 1u);
+}
+
+TEST(Virtqueue, ArmUsedEventReportsRacedCompletion) {
+  // The classic lost-wakeup edge: a completion lands while the driver is
+  // between "drained everything" and "armed used_event". arm_used_event
+  // must report the pending entry so the driver re-drains instead of
+  // sleeping through a suppressed interrupt.
+  FlatMem mem{4'096};
+  Virtqueue vq{8, mem.translator()};
+  vq.set_event_idx(true);
+  BufferRef out{0, 8};
+  auto h1 = vq.add_buf({&out, 1}, {}, 0);
+  ASSERT_TRUE(h1);
+  vq.kick(10);
+  ASSERT_EQ(vq.pop_avail_batch().size(), 1u);
+  ASSERT_EQ(vq.push_used(*h1, 0, 100), sim::Status::kOk);
+
+  // Driver has not drained yet: the arm must report pending work.
+  EXPECT_TRUE(vq.arm_used_event());
+  EXPECT_TRUE(vq.get_used());
+  EXPECT_FALSE(vq.arm_used_event());
+}
+
+TEST(Virtqueue, EventIdxOffNeverSuppresses) {
+  FlatMem mem{4'096};
+  Virtqueue vq{8, mem.translator()};
+  BufferRef out{0, 8};
+  for (int i = 0; i < 3; ++i) {
+    auto h = vq.add_buf({&out, 1}, {}, 0);
+    ASSERT_TRUE(h);
+    // Legacy behavior: every publish wants a doorbell, every completion an
+    // interrupt.
+    EXPECT_TRUE(vq.kick_prepare());
+    vq.kick(i * 10);
+    auto chain = vq.pop_avail();
+    ASSERT_TRUE(chain);
+    ASSERT_EQ(vq.push_used(chain->head, 0, i * 10 + 5), sim::Status::kOk);
+    EXPECT_TRUE(vq.should_interrupt());
+    EXPECT_TRUE(vq.get_used());
+  }
+  EXPECT_FALSE(vq.arm_used_event());  // no-op with EVENT_IDX off
+  EXPECT_EQ(vq.suppressed_kicks(), 0u);
+  EXPECT_EQ(vq.suppressed_irqs(), 0u);
+}
+
 TEST(DeviceStatus, HandshakeSucceeds) {
   DeviceStatus status{VIRTIO_F_VERSION_1 | VPHI_F_SCIF};
   status.set(VIRTIO_STATUS_ACKNOWLEDGE);

@@ -34,8 +34,8 @@ using sim::Status;
 using tools::Testbed;
 using tools::TestbedConfig;
 
-/// (waiting scheme, run every op on a worker thread?)
-using FaultParam = std::tuple<WaitScheme, bool>;
+/// (waiting scheme, run every op on a worker thread?, pipeline window)
+using FaultParam = std::tuple<WaitScheme, bool, int>;
 
 class FaultSweepTest : public ::testing::TestWithParam<FaultParam> {
  protected:
@@ -45,6 +45,10 @@ class FaultSweepTest : public ::testing::TestWithParam<FaultParam> {
     cfg.frontend.request_timeout_ns = 50'000'000;  // 50 ms simulated
     cfg.frontend.max_retries = 2;
     cfg.frontend.lost_request_grace = std::chrono::milliseconds{250};
+    // Window > 1 routes the stream/RMA chunk walks through the pipelined
+    // submit/wait path; every fault must keep the same surface behavior.
+    cfg.frontend.pipeline_window =
+        static_cast<std::size_t>(std::get<2>(GetParam()));
     cfg.backend_policy.classify = std::get<1>(GetParam())
                                       ? BackendPolicy::all_worker()
                                       : BackendPolicy::all_blocking();
@@ -227,10 +231,11 @@ INSTANTIATE_TEST_SUITE_P(
     SchemesAndModes, FaultSweepTest,
     ::testing::Combine(::testing::Values(WaitScheme::kInterrupt,
                                          WaitScheme::kPolling),
-                       ::testing::Bool()),
+                       ::testing::Bool(), ::testing::Values(1, 4)),
     [](const ::testing::TestParamInfo<FaultParam>& param_info) {
       return std::string(wait_scheme_name(std::get<0>(param_info.param))) +
-             (std::get<1>(param_info.param) ? "_worker" : "_blocking");
+             (std::get<1>(param_info.param) ? "_worker" : "_blocking") +
+             "_w" + std::to_string(std::get<2>(param_info.param));
     });
 
 }  // namespace
