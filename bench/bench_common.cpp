@@ -1,12 +1,24 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace vphi::bench {
 
 void print_header(const char* figure, const char* paper_claim) {
+  // Benches run with request tracing on (VPHI_TRACE=0 opts out) so every
+  // BENCH_*.json carries the per-hop latency breakdown next to the measured
+  // points. Tracing never advances the simulated clock, so the numbers are
+  // identical either way.
+  const char* env = std::getenv("VPHI_TRACE");
+  if (env == nullptr || std::strcmp(env, "0") != 0) {
+    sim::tracer().set_enabled(true);
+  }
   std::printf("# %s\n# paper: %s\n\n", figure, paper_claim);
   std::fflush(stdout);
 }
@@ -36,7 +48,20 @@ void BenchJson::write() {
         << ", \"ns\": " << r.ns << ", \"gbps\": " << r.gbps << "}"
         << (i + 1 < rows_.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  // Observability payload: the per-hop latency breakdown aggregated over
+  // every ring request the run traced, plus the full metrics snapshot
+  // (stable names — see docs/OBSERVABILITY.md). Empty when tracing is off.
+  const auto hops = sim::tracer().hop_breakdown();
+  out << "  ],\n  \"hops\": [\n";
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto& h = hops[i];
+    out << "    {\"from\": \"" << sim::span_event_name(h.from)
+        << "\", \"to\": \"" << sim::span_event_name(h.to)
+        << "\", \"count\": " << h.ns.count() << ", \"mean_ns\": " << h.ns.mean()
+        << "}" << (i + 1 < hops.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"metrics\": " << sim::metrics::registry().snapshot_json()
+      << "\n}\n";
   std::printf("wrote BENCH_%s.json (%zu rows)\n", name_.c_str(), rows_.size());
 }
 

@@ -1,0 +1,57 @@
+# trace_smoke ctest body. Runs vphi-stat in --smoke mode (which enforces the
+# hop-sum-vs-end-to-end identity itself and exits non-zero on a miss), then
+# validates the Chrome trace JSON it writes: well-formed, non-empty, every
+# event carries a ts, and per track (tid) the ts sequence is monotonically
+# non-decreasing — the invariant chrome://tracing / Perfetto rely on.
+#
+# Invoked as:
+#   cmake -DVPHI_STAT=<vphi-stat binary> -P check_trace.cmake
+# with the working directory set to where the trace file should land.
+
+if(NOT DEFINED VPHI_STAT)
+  message(FATAL_ERROR "trace_smoke: -DVPHI_STAT=<path> is required")
+endif()
+
+execute_process(COMMAND ${VPHI_STAT} --smoke RESULT_VARIABLE _rc
+                OUTPUT_VARIABLE _out ERROR_VARIABLE _err)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR
+          "trace_smoke: ${VPHI_STAT} --smoke exited ${_rc}\n${_out}\n${_err}")
+endif()
+
+file(READ vphi_stat_trace.json _json)
+string(JSON _nevents LENGTH "${_json}" traceEvents)
+if(_nevents EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: vphi_stat_trace.json has no traceEvents")
+endif()
+
+# Walk the events once, tracking the last ts seen per tid. Metadata events
+# (ph == "M") name tracks and carry no meaningful ts; skip them.
+set(_tids "")
+math(EXPR _last "${_nevents} - 1")
+foreach(_i RANGE ${_last})
+  string(JSON _ph GET "${_json}" traceEvents ${_i} ph)
+  if(_ph STREQUAL "M")
+    continue()
+  endif()
+  string(JSON _ts ERROR_VARIABLE _ts_err GET "${_json}" traceEvents ${_i} ts)
+  if(_ts_err)
+    message(FATAL_ERROR "trace_smoke: event ${_i} has no ts (${_ts_err})")
+  endif()
+  string(JSON _tid GET "${_json}" traceEvents ${_i} tid)
+  if(NOT DEFINED _last_ts_${_tid})
+    list(APPEND _tids ${_tid})
+    set(_last_ts_${_tid} ${_ts})
+  elseif(_ts LESS _last_ts_${_tid})
+    message(FATAL_ERROR
+            "trace_smoke: event ${_i} ts ${_ts} goes backwards on tid "
+            "${_tid} (last ${_last_ts_${_tid}})")
+  else()
+    set(_last_ts_${_tid} ${_ts})
+  endif()
+endforeach()
+
+list(LENGTH _tids _ntids)
+message(STATUS
+        "trace_smoke OK: ${_nevents} events across ${_ntids} tracks, "
+        "ts monotone per track")

@@ -24,8 +24,8 @@ void Vm::inject_irq(sim::Nanos backend_now) {
   {
     std::lock_guard lock(irq_mu_);
     handler = irq_handler_;
-    ++irq_count_;
   }
+  irq_count_.inc();
   if (handler) handler(backend_now + model_->irq_inject_ns);
 }
 

@@ -21,6 +21,7 @@
 #include "hv/guest_mem.hpp"
 #include "hv/kvm_mmu.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
 #include "virtio/device.hpp"
 #include "virtio/ring.hpp"
 
@@ -66,7 +67,7 @@ class Vm {
   /// now + injection latency.
   void inject_irq(sim::Nanos backend_now);
   void set_irq_handler(IrqHandler handler);
-  std::uint64_t irqs_injected() const noexcept { return irq_count_; }
+  std::uint64_t irqs_injected() const noexcept { return irq_count_.value(); }
 
   /// Tear down the transport (unblocks the backend and any guest waiters).
   void shutdown();
@@ -82,7 +83,7 @@ class Vm {
   kvm::Mmu mmu_;
   IrqHandler irq_handler_;
   std::mutex irq_mu_;
-  std::uint64_t irq_count_ = 0;
+  sim::metrics::Counter irq_count_{"vphi.hv.irqs_injected"};
 };
 
 }  // namespace vphi::hv

@@ -1,5 +1,7 @@
 #include "sim/fault.hpp"
 
+#include <string>
+
 #include "sim/log.hpp"
 
 namespace vphi::sim {
@@ -18,6 +20,16 @@ const char* fault_site_name(FaultSite site) noexcept {
     case FaultSite::kNumSites: break;
   }
   return "unknown";
+}
+
+FaultInjector::FaultInjector() {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const std::string base =
+        std::string("vphi.fault.") +
+        fault_site_name(static_cast<FaultSite>(i));
+    hit_counters_[i] = std::make_unique<metrics::Counter>(base + ".hits");
+    fire_counters_[i] = std::make_unique<metrics::Counter>(base + ".fires");
+  }
 }
 
 void FaultInjector::arm(FaultSite site, const FaultConfig& config) {
@@ -93,9 +105,11 @@ bool FaultInjector::should_fire(FaultSite site) noexcept {
   std::lock_guard lock(mu_);
   Site& s = sites_[static_cast<int>(site)];
   ++s.hits_total;
+  hit_counters_[static_cast<int>(site)]->inc();
   if (s.armed) ++s.hits_since_arm;
   const bool fire = decide_locked(s);
   if (fire) {
+    fire_counters_[static_cast<int>(site)]->inc();
     VPHI_LOG(kWarn, "fault") << "injecting " << fault_site_name(site)
                              << " (hit " << s.hits_since_arm << ", fire "
                              << s.fires << ")";
@@ -131,6 +145,10 @@ void FaultInjector::reset_counters() {
     s.hits_since_arm = 0;
     s.hits_total = 0;
     s.fires = 0;
+  }
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    hit_counters_[i]->reset();
+    fire_counters_[i]->reset();
   }
 }
 

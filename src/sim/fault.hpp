@@ -25,8 +25,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::sim {
@@ -62,6 +64,8 @@ struct FaultConfig {
 
 class FaultInjector {
  public:
+  FaultInjector();
+
   void arm(FaultSite site, const FaultConfig& config);
   /// Fire exactly on the nth upcoming hit (and, by default, only once).
   void arm_nth(FaultSite site, std::uint64_t nth, std::uint64_t max_fires = 1);
@@ -102,6 +106,12 @@ class FaultInjector {
   Site sites_[kNumFaultSites];
   std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
   std::atomic<int> armed_count_{0};
+  // Cumulative mirrors of hits_total/fires under registry names
+  // ("vphi.fault.<site>.hits/.fires") so a metrics snapshot shows injected
+  // faults next to the transport's own error counters. The raw Site fields
+  // keep the arm-relative semantics (max_fires budgets, nth triggers).
+  std::unique_ptr<metrics::Counter> hit_counters_[kNumFaultSites];
+  std::unique_ptr<metrics::Counter> fire_counters_[kNumFaultSites];
 };
 
 /// The process-global injector the transport fault points consult.

@@ -1,0 +1,213 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace vphi::sim::metrics {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+template <typename T>
+void erase_ptr(std::vector<T*>& v, T* p) {
+  v.erase(std::remove(v.begin(), v.end(), p), v.end());
+}
+
+}  // namespace
+
+Counter::Counter(std::string name) : name_(std::move(name)) {
+  registry().add(this);
+}
+Counter::~Counter() { registry().remove(this); }
+
+Gauge::Gauge(std::string name) : name_(std::move(name)) {
+  registry().add(this);
+}
+Gauge::~Gauge() { registry().remove(this); }
+
+LatencyHistogram::LatencyHistogram(std::string name) : name_(std::move(name)) {
+  registry().add(this);
+}
+LatencyHistogram::~LatencyHistogram() { registry().remove(this); }
+
+void LatencyHistogram::record(Nanos v) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  h_.add(v);
+}
+
+Histogram LatencyHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return h_;
+}
+
+void Registry::add(Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(c);
+}
+
+void Registry::remove(Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  erase_ptr(counters_, c);
+  retired_counters_[c->name()] += c->value();
+}
+
+void Registry::add(Gauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.push_back(g);
+}
+
+void Registry::remove(Gauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  erase_ptr(gauges_, g);
+  retired_gauges_[g->name()] += g->value();
+}
+
+void Registry::add(LatencyHistogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.push_back(h);
+}
+
+void Registry::remove(LatencyHistogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  erase_ptr(histograms_, h);
+  retired_histograms_[h->name()].merge(h->snapshot());
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_counters_.clear();
+  retired_gauges_.clear();
+  retired_histograms_.clear();
+  for (Counter* c : counters_) c->reset();
+  for (Gauge* g : gauges_) g->set(0);
+}
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  std::map<std::string, std::uint64_t> counters = retired_counters_;
+  for (const Counter* c : counters_) counters[c->name()] += c->value();
+
+  std::map<std::string, std::int64_t> gauges = retired_gauges_;
+  for (const Gauge* g : gauges_) gauges[g->name()] += g->value();
+
+  std::map<std::string, Histogram> hists = retired_histograms_;
+  for (const LatencyHistogram* h : histograms_)
+    hists[h->name()].merge(h->snapshot());
+
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : hists) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"mean\":";
+    append_double(out, h.mean());
+    out += ",\"p50\":";
+    append_double(out, h.percentile(0.5));
+    out += ",\"p99\":";
+    append_double(out, h.percentile(0.99));
+    out += ",\"max\":";
+    append_double(out, h.max());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  if (auto it = retired_counters_.find(name); it != retired_counters_.end()) {
+    total += it->second;
+  }
+  for (const Counter* c : counters_) {
+    if (c->name() == name) total += c->value();
+  }
+  return total;
+}
+
+std::vector<std::string> Registry::metric_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const Counter* c : counters_) names.push_back(c->name());
+  for (const Gauge* g : gauges_) names.push_back(g->name());
+  for (const LatencyHistogram* h : histograms_) names.push_back(h->name());
+  for (const auto& [name, v] : retired_counters_) names.push_back(name);
+  for (const auto& [name, v] : retired_gauges_) names.push_back(name);
+  for (const auto& [name, h] : retired_histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::size_t Registry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+namespace {
+
+void dump_metrics_at_exit() {
+  const char* path = std::getenv("VPHI_METRICS");
+  if (path == nullptr || path[0] == '\0') return;
+  const std::string spec{path};
+  const std::string json = registry().snapshot_json();
+  if (spec == "1" || spec == "-" || spec == "stderr") {
+    std::fprintf(stderr, "%s\n", json.c_str());
+    return;
+  }
+  if (std::FILE* f = std::fopen(spec.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "vphi: cannot write VPHI_METRICS file %s\n",
+                 spec.c_str());
+  }
+}
+
+}  // namespace
+
+Registry& registry() {
+  static Registry* instance = [] {
+    auto* r = new Registry();  // leaked: instruments may outlive main()
+    if (const char* env = std::getenv("VPHI_METRICS");
+        env != nullptr && env[0] != '\0' && std::string{env} != "0") {
+      std::atexit(dump_metrics_at_exit);
+    }
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace vphi::sim::metrics

@@ -1,0 +1,152 @@
+// Process-wide metrics registry for the vPHI stack.
+//
+// Components own their instruments (a Counter is a struct member exactly
+// where the old raw std::uint64_t field sat), but every instrument
+// self-registers under a stable name on construction and unregisters on
+// destruction. The registry can therefore snapshot the whole stack at any
+// moment — frontend, backend, ring, fault injector, hypervisor — without
+// the scattered per-struct accessors the bench/tooling side used to scrape
+// by hand. Same-named instruments from different instances (one Virtqueue
+// per VM, say) are summed in the snapshot, while each instance's own
+// accessor keeps its exact per-instance semantics.
+//
+// The full catalogue of registered names, their units and their owning
+// component lives in docs/OBSERVABILITY.md; treat those names as a stable
+// interface (benchmark JSON embeds them).
+//
+// Env knob: VPHI_METRICS=<path> writes the JSON snapshot to <path> at
+// process exit ("-" or "stderr" for stderr). Unset = no dump.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace vphi::sim::metrics {
+
+/// Monotonic counter (u64, relaxed atomics; overflow is the caller's
+/// problem at ~10^19 events).
+class Counter {
+ public:
+  explicit Counter(std::string name);
+  ~Counter();
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  /// For counter owners with an explicit reset surface (fault injector).
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Signed point-in-time value (queue depths, parked buffers).
+class Gauge {
+ public:
+  explicit Gauge(std::string name);
+  ~Gauge();
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Latency distribution: a mutex-guarded sim::Histogram under a registered
+/// name. record() is off the simulated clock (observability never charges
+/// the workload).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::string name);
+  ~LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record(Nanos v) noexcept;
+  /// Copy-out for percentile queries without holding the lock.
+  Histogram snapshot() const;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  Histogram h_;
+};
+
+/// The process-global registry every instrument registers with.
+class Registry {
+ public:
+  void add(Counter* c);
+  void remove(Counter* c);
+  void add(Gauge* g);
+  void remove(Gauge* g);
+  void add(LatencyHistogram* h);
+  void remove(LatencyHistogram* h);
+
+  /// Deterministic JSON snapshot: one object with "counters", "gauges" and
+  /// "histograms" maps, keys sorted, same-named live instruments summed
+  /// (histograms merged by their summary stats). Values reflect the instant
+  /// of the call.
+  std::string snapshot_json() const;
+
+  /// Sorted, de-duplicated names of every instrument ever seen (live or
+  /// retired).
+  std::vector<std::string> metric_names() const;
+
+  /// Current total for a counter name: live instruments summed plus the
+  /// retired aggregate. 0 for unknown names.
+  std::uint64_t counter_value(const std::string& name) const;
+
+  /// Live instruments only.
+  std::size_t instrument_count() const;
+
+  /// Test/tooling hook: drop the retired aggregates and zero every live
+  /// counter and gauge, so two identical runs produce identical snapshots.
+  /// Component-local accessors observe the zeroing — call this only between
+  /// workloads, never during one.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Counter*> counters_;
+  std::vector<Gauge*> gauges_;
+  std::vector<LatencyHistogram*> histograms_;
+  // Final values of destroyed instruments, folded in by name so snapshots
+  // taken after a Testbed tears down (bench JSON writers, the VPHI_METRICS
+  // exit dump) still cover the whole run.
+  std::map<std::string, std::uint64_t> retired_counters_;
+  std::map<std::string, std::int64_t> retired_gauges_;
+  std::map<std::string, Histogram> retired_histograms_;
+};
+
+Registry& registry();
+
+}  // namespace vphi::sim::metrics

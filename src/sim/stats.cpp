@@ -21,17 +21,23 @@ void Histogram::add(Nanos v) noexcept {
 double Histogram::percentile(double q) const noexcept {
   if (total_ == 0) return 0.0;
   if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
+  // The top of the distribution is known exactly: interpolating inside the
+  // last occupied bucket would report its exclusive power-of-two upper
+  // bound (a value never observed) instead of the true maximum.
+  if (q >= 1.0) return summary_.max();
   const double target = q * static_cast<double>(total_);
   double seen = 0.0;
   for (int b = 0; b < kBuckets; ++b) {
     const double in_bucket = static_cast<double>(buckets_[b]);
     if (seen + in_bucket >= target && in_bucket > 0.0) {
-      // Interpolate within [2^(b-1), 2^b).
+      // Interpolate within [2^(b-1), 2^b), then clamp to the observed
+      // range — a single-bucket histogram must never report a quantile
+      // outside [min, max].
       const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
       const double hi = std::ldexp(1.0, b);
       const double frac = (target - seen) / in_bucket;
-      return lo + frac * (hi - lo);
+      return std::clamp(lo + frac * (hi - lo), summary_.min(),
+                        summary_.max());
     }
     seen += in_bucket;
   }

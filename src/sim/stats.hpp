@@ -23,6 +23,24 @@ class Summary {
     max_ = n_ == 1 ? x : std::max(max_, x);
   }
 
+  /// Fold another accumulator in (parallel-variance combination), as if
+  /// every sample had been add()ed here.
+  void merge(const Summary& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const std::uint64_t n = n_ + o.n_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ = n;
+  }
+
   std::uint64_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
   double min() const noexcept { return min_; }
@@ -45,10 +63,19 @@ class Summary {
 class Histogram {
  public:
   void add(Nanos v) noexcept;
+  /// Bucket-wise fold of another histogram.
+  void merge(const Histogram& o) noexcept {
+    for (int b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+    total_ += o.total_;
+    summary_.merge(o.summary_);
+  }
   std::uint64_t count() const noexcept { return total_; }
-  /// q in [0,1]; returns 0 for an empty histogram.
+  /// q in [0,1]; returns 0 for an empty histogram. Interpolated values are
+  /// clamped into [min(), max()], and q = 1.0 is exactly max() — never the
+  /// bucket's exclusive power-of-two upper bound.
   double percentile(double q) const noexcept;
   double mean() const noexcept { return summary_.mean(); }
+  double min() const noexcept { return summary_.min(); }
   double max() const noexcept { return summary_.max(); }
 
  private:

@@ -1,0 +1,322 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "sim/actor.hpp"
+
+namespace vphi::sim {
+namespace {
+
+// The op span the calling thread is currently inside (see TraceOpScope).
+thread_local TraceId t_current_op = 0;
+
+// Chrome-trace track per component, in pipeline-reading order.
+constexpr int kTidGuestOps = 1;
+constexpr int kTidFrontend = 2;
+constexpr int kTidRing = 3;
+constexpr int kTidBackend = 4;
+constexpr int kTidIrq = 5;
+
+int event_tid(SpanEvent ev) noexcept {
+  switch (ev) {
+    case SpanEvent::kSubmit:
+    case SpanEvent::kKick:
+    case SpanEvent::kWakeup:
+    case SpanEvent::kComplete:
+      return kTidFrontend;
+    case SpanEvent::kAvailPublish:
+    case SpanEvent::kUsedPublish:
+      return kTidRing;
+    case SpanEvent::kBackendPop:
+    case SpanEvent::kHostSyscall:
+      return kTidBackend;
+    case SpanEvent::kVirq:
+      return kTidIrq;
+    case SpanEvent::kNumEvents:
+      break;
+  }
+  return kTidFrontend;
+}
+
+/// Within one request the simulated timestamps are causally ordered, but
+/// cross-thread record() calls may append out of order; sorting by
+/// (ts, pipeline position) restores the canonical sequence.
+void sort_events(std::vector<TraceEv>& evs) {
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const TraceEv& a, const TraceEv& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return static_cast<int>(a.event) <
+                            static_cast<int>(b.event);
+                   });
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+std::string g_trace_path;
+
+void write_trace_at_exit() {
+  if (!g_trace_path.empty()) tracer().write_chrome_trace(g_trace_path);
+}
+
+}  // namespace
+
+const char* span_event_name(SpanEvent ev) noexcept {
+  switch (ev) {
+    case SpanEvent::kSubmit:
+      return "submit";
+    case SpanEvent::kAvailPublish:
+      return "avail_publish";
+    case SpanEvent::kKick:
+      return "kick";
+    case SpanEvent::kBackendPop:
+      return "backend_pop";
+    case SpanEvent::kHostSyscall:
+      return "host_syscall";
+    case SpanEvent::kUsedPublish:
+      return "used_publish";
+    case SpanEvent::kVirq:
+      return "virq";
+    case SpanEvent::kWakeup:
+      return "wakeup";
+    case SpanEvent::kComplete:
+      return "complete";
+    case SpanEvent::kNumEvents:
+      break;
+  }
+  return "?";
+}
+
+void Tracer::set_enabled(bool on) noexcept {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+RequestTrace* Tracer::find_locked(std::vector<RequestTrace>& v, TraceId id) {
+  for (auto it = v.rbegin(); it != v.rend(); ++it)
+    if (it->id == id) return &*it;
+  return nullptr;
+}
+
+TraceId Tracer::begin_op(const char* name, Nanos ts) {
+  if (!enabled()) return 0;
+  const TraceId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_.push_back({id, 0, name, {{SpanEvent::kSubmit, ts}}});
+  return id;
+}
+
+void Tracer::end_op(TraceId id, Nanos ts) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (RequestTrace* op = find_locked(ops_, id))
+    op->events.push_back({SpanEvent::kComplete, ts});
+}
+
+TraceId Tracer::begin_request(const char* op_name, Nanos ts) {
+  if (!enabled()) return 0;
+  const TraceId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_.push_back({id, t_current_op, op_name, {{SpanEvent::kSubmit, ts}}});
+  return id;
+}
+
+void Tracer::record(TraceId id, SpanEvent ev, Nanos ts) {
+  if (id == 0) return;  // the disabled / untraced fast path
+  std::lock_guard<std::mutex> lock(mu_);
+  if (RequestTrace* req = find_locked(requests_, id))
+    req->events.push_back({ev, ts});
+  // A record against a cleared trace is silently dropped: clear() may race
+  // with requests still in flight and that is fine.
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_.clear();
+  ops_.clear();
+}
+
+std::size_t Tracer::request_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_.size();
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& r : requests_) n += r.events.size();
+  for (const auto& o : ops_) n += o.events.size();
+  return n;
+}
+
+std::vector<RequestTrace> Tracer::requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto out = requests_;
+  for (auto& r : out) sort_events(r.events);
+  return out;
+}
+
+std::vector<RequestTrace> Tracer::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto out = ops_;
+  for (auto& o : out) sort_events(o.events);
+  return out;
+}
+
+std::vector<Hop> Tracer::hop_breakdown() const {
+  const auto reqs = requests();
+  std::map<std::pair<int, int>, Summary> hops;
+  for (const auto& r : reqs) {
+    for (std::size_t i = 1; i < r.events.size(); ++i) {
+      const auto& a = r.events[i - 1];
+      const auto& b = r.events[i];
+      hops[{static_cast<int>(a.event), static_cast<int>(b.event)}].add(
+          static_cast<double>(b.ts - a.ts));
+    }
+  }
+  std::vector<Hop> out;
+  out.reserve(hops.size());
+  for (const auto& [key, summary] : hops)
+    out.push_back({static_cast<SpanEvent>(key.first),
+                   static_cast<SpanEvent>(key.second), summary});
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const auto reqs = requests();
+  const auto op_spans = ops();
+
+  struct ChromeEv {
+    int tid;
+    Nanos ts;
+    std::string json;  // everything but pid/tid/ts
+  };
+  std::vector<ChromeEv> evs;
+
+  auto make_args = [](TraceId id, const std::string& op) {
+    std::string a = "\"args\":{\"trace\":" + std::to_string(id);
+    if (!op.empty()) {
+      a += ",\"op\":\"";
+      append_json_escaped(a, op);
+      a += '"';
+    }
+    a += '}';
+    return a;
+  };
+
+  for (const auto& o : op_spans) {
+    if (o.events.empty()) continue;
+    const Nanos t0 = o.events.front().ts;
+    const Nanos t1 = o.events.back().ts;
+    std::string j = "\"name\":\"";
+    append_json_escaped(j, o.op);
+    j += "\",\"ph\":\"X\",\"dur\":" +
+         std::to_string(static_cast<double>(t1 - t0) / 1e3) + "," +
+         make_args(o.id, o.op);
+    evs.push_back({kTidGuestOps, t0, std::move(j)});
+  }
+
+  for (const auto& r : reqs) {
+    for (std::size_t i = 0; i < r.events.size(); ++i) {
+      const auto& e = r.events[i];
+      if (i + 1 < r.events.size()) {
+        // A complete slice for the hop to the next event, drawn on the
+        // destination's track so each component shows the latency it is
+        // responsible for ending.
+        const auto& n = r.events[i + 1];
+        std::string j = "\"name\":\"";
+        j += span_event_name(e.event);
+        j += "\\u2192";  // →
+        j += span_event_name(n.event);
+        j += "\",\"ph\":\"X\",\"dur\":" +
+             std::to_string(static_cast<double>(n.ts - e.ts) / 1e3) + "," +
+             make_args(r.id, r.op);
+        evs.push_back({event_tid(n.event), e.ts, std::move(j)});
+      } else {
+        std::string j = "\"name\":\"";
+        j += span_event_name(e.event);
+        j += "\",\"ph\":\"i\",\"s\":\"t\"," + make_args(r.id, r.op);
+        evs.push_back({event_tid(e.event), e.ts, std::move(j)});
+      }
+    }
+  }
+
+  // chrome://tracing only asks for per-track order; sorting the whole array
+  // by (tid, ts) also satisfies the trace_smoke validator directly.
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const ChromeEv& a, const ChromeEv& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts < b.ts;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const std::pair<int, const char*> kTracks[] = {
+      {kTidGuestOps, "guest ops"},
+      {kTidFrontend, "frontend"},
+      {kTidRing, "virtio ring"},
+      {kTidBackend, "backend"},
+      {kTidIrq, "vIRQ"},
+  };
+  for (const auto& [tid, name] : kTracks) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" + name + "\"}}";
+  }
+  for (const auto& e : evs) {
+    out += ",{\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + std::to_string(static_cast<double>(e.ts) / 1e3) + "," +
+           e.json + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+Tracer& tracer() {
+  static Tracer* instance = [] {
+    auto* t = new Tracer();  // leaked: records may arrive past main()
+    if (const char* env = std::getenv("VPHI_TRACE");
+        env != nullptr && env[0] != '\0' && std::string{env} != "0") {
+      t->set_enabled(true);
+      if (std::string{env} != "1") {
+        g_trace_path = env;
+        std::atexit(write_trace_at_exit);
+      }
+    }
+    return t;
+  }();
+  return *instance;
+}
+
+TraceOpScope::TraceOpScope(const char* name) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  id_ = t.begin_op(name, this_actor().now());
+  saved_parent_ = t_current_op;
+  t_current_op = id_;
+}
+
+TraceOpScope::~TraceOpScope() {
+  if (id_ == 0) return;
+  tracer().end_op(id_, this_actor().now());
+  t_current_op = saved_parent_;
+}
+
+}  // namespace vphi::sim

@@ -1,0 +1,168 @@
+// Cross-layer request tracing on the simulated clock.
+//
+// A trace context (TraceId) is allocated per SCIF request as it enters the
+// frontend, rides the host-side bookkeeping structures (FrontendDriver's
+// Pending slot, the per-head slot table of virtio::Ring, Backend's Chain)
+// — never the frozen wire headers — and collects span events at each hop:
+//
+//   kSubmit        frontend accepts the request        (guest driver)
+//   kAvailPublish  descriptor chain visible on avail   (virtio ring)
+//   kKick          doorbell actually sent              (guest driver)
+//   kBackendPop    backend dequeues the chain          (QEMU backend)
+//   kHostSyscall   host SCIF syscall issued            (QEMU backend)
+//   kUsedPublish   completion visible on used          (virtio ring)
+//   kVirq          vIRQ delivered to the guest         (hypervisor)
+//   kWakeup        waiting guest context resumes       (guest driver)
+//   kComplete      response parsed, buffers freed      (guest driver)
+//
+// All timestamps are simulated Nanos; recording never advances any actor's
+// clock, so enabling tracing does not change a single measured number.
+// When disabled (the default), record() costs one relaxed atomic load and
+// every id is 0, so the hot path allocates nothing.
+//
+// Guest-level SCIF ops (scif_send, scif_readfrom, ...) open an op span via
+// TraceOpScope; requests submitted while it is open link to it as their
+// parent, which is how a pipelined 64 MiB read shows up as one op umbrella
+// over four chunk requests.
+//
+// Exports: hop_breakdown() aggregates per-request deltas between
+// consecutive events (the simulated analogue of the paper's fig. 4b
+// table); chrome_trace_json() emits a Chrome "chrome://tracing" /
+// Perfetto-loadable trace. See docs/OBSERVABILITY.md.
+//
+// Env knob: VPHI_TRACE=1 enables tracing at startup; any other non-"0"
+// value additionally names a file the Chrome trace is written to at exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace vphi::sim {
+
+/// 0 means "not traced"; every live request carries a unique nonzero id.
+using TraceId = std::uint64_t;
+
+enum class SpanEvent : std::uint8_t {
+  kSubmit = 0,
+  kAvailPublish,
+  kKick,
+  kBackendPop,
+  kHostSyscall,
+  kUsedPublish,
+  kVirq,
+  kWakeup,
+  kComplete,
+  kNumEvents,
+};
+
+const char* span_event_name(SpanEvent ev) noexcept;
+
+/// One recorded point of a request's lifetime.
+struct TraceEv {
+  SpanEvent event;
+  Nanos ts;
+};
+
+/// Everything recorded for one request (or one guest-level op umbrella).
+struct RequestTrace {
+  TraceId id = 0;
+  TraceId parent = 0;  ///< enclosing op span, 0 if none
+  std::string op;      ///< "readfrom", "send", ...
+  std::vector<TraceEv> events;
+};
+
+/// One aggregated hop of the pipeline: the latency between two consecutive
+/// span events, summarized across every traced request that has both.
+struct Hop {
+  SpanEvent from;
+  SpanEvent to;
+  Summary ns;
+};
+
+class Tracer {
+ public:
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept;
+
+  /// Open a guest-level op span (scif_send, scif_readfrom, ...). Returns 0
+  /// when disabled.
+  TraceId begin_op(const char* name, Nanos ts);
+  void end_op(TraceId id, Nanos ts);
+
+  /// Allocate a request trace and record kSubmit at `ts`. The request links
+  /// to the calling thread's current op span (see TraceOpScope). Returns 0
+  /// when disabled.
+  TraceId begin_request(const char* op_name, Nanos ts);
+
+  /// Record one span event. No-op (no lock, no allocation) when id == 0.
+  void record(TraceId id, SpanEvent ev, Nanos ts);
+
+  /// Drop everything recorded so far (ids remain unique process-wide).
+  void clear();
+
+  std::size_t request_count() const;
+  std::size_t event_count() const;
+
+  /// Copy-out of all finished and in-flight request traces (op umbrellas
+  /// excluded), in allocation order.
+  std::vector<RequestTrace> requests() const;
+  /// Op umbrella spans, in allocation order.
+  std::vector<RequestTrace> ops() const;
+
+  /// Aggregate consecutive-event deltas across all traced requests, ordered
+  /// by pipeline position. Within each request, events are sorted by
+  /// (ts, pipeline order) first, so cross-thread append races never produce
+  /// negative hops.
+  std::vector<Hop> hop_breakdown() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array object): one track per
+  /// component, complete ("X") slices per hop, instant events per span
+  /// point, op umbrellas on the guest track.
+  std::string chrome_trace_json() const;
+  /// Write chrome_trace_json() to `path`; returns false on I/O error.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct OpTls;
+  friend class TraceOpScope;
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<TraceId> next_id_{1};
+  std::vector<RequestTrace> requests_;
+  std::vector<RequestTrace> ops_;
+  // id -> index maps rebuilt lazily would cost more than they save at the
+  // scale of a simulated workload; linear backward scan is fine because
+  // records overwhelmingly hit the most recent requests.
+  RequestTrace* find_locked(std::vector<RequestTrace>& v, TraceId id);
+};
+
+Tracer& tracer();
+
+/// RAII guest-op span: opens at construction (when tracing is enabled),
+/// closes at destruction, both stamped from sim::this_actor(). While alive
+/// it is the calling thread's "current op" that begin_request() links to.
+class TraceOpScope {
+ public:
+  explicit TraceOpScope(const char* name);
+  ~TraceOpScope();
+
+  TraceOpScope(const TraceOpScope&) = delete;
+  TraceOpScope& operator=(const TraceOpScope&) = delete;
+
+  TraceId id() const noexcept { return id_; }
+
+ private:
+  TraceId id_ = 0;
+  TraceId saved_parent_ = 0;
+};
+
+}  // namespace vphi::sim

@@ -1,0 +1,5 @@
+#include "tools/vphi_stat.hpp"
+
+int main(int argc, char** argv) {
+  return vphi::tools::vphi_stat_main(argc, argv);
+}

@@ -1,0 +1,242 @@
+#include "tools/vphi_stat.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "scif/types.hpp"
+#include "sim/actor.hpp"
+#include "sim/fault.hpp"
+#include "sim/metrics.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "tools/testbed.hpp"
+
+namespace vphi::tools {
+namespace {
+
+constexpr scif::Port kPort = 2'900;
+
+struct Options {
+  std::size_t size = 64ull << 20;
+  std::size_t rma_chunk = 0;  ///< 0 = frontend default (16 MiB)
+  std::string trace_out;
+  bool list_metrics = false;
+  bool smoke = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--size N] [--trace-out PATH] [--list-metrics] "
+               "[--smoke]\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strcmp(arg, "--list-metrics") == 0) {
+      opts.list_metrics = true;
+    } else if (std::strcmp(arg, "--size") == 0 && i + 1 < argc) {
+      opts.size = std::strtoull(argv[++i], nullptr, 0);
+      if (opts.size == 0) return false;
+    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      opts.trace_out = argv[++i];
+    } else {
+      return false;
+    }
+  }
+  if (opts.smoke) {
+    // CI-sized: 8 MiB over 2 MiB RMA chunks still exercises the chunk walk
+    // (4 requests) and always leaves a trace file for validation.
+    opts.size = 8ull << 20;
+    opts.rma_chunk = 2ull << 20;
+    if (opts.trace_out.empty()) opts.trace_out = "vphi_stat_trace.json";
+  }
+  return true;
+}
+
+/// Card-side RMA window server (standalone twin of the bench harness's
+/// RmaWindowServer — this tool cannot link bench_common): accepts one
+/// connection, registers a device-memory window at fixed offset 0, signals
+/// readiness, and holds the window until the client hangs up.
+class CardWindowServer {
+ public:
+  CardWindowServer(Testbed& bed, scif::Port port, std::size_t bytes) {
+    auto& p = bed.card_provider();
+    auto lep = p.open();
+    if (!lep) return;
+    const int listener = *lep;
+    if (!p.bind(listener, port) || !sim::ok(p.listen(listener, 4))) return;
+    server_ = std::async(std::launch::async, [&bed, &p, listener, bytes] {
+      sim::Actor actor{"rma-server", sim::Actor::AtNow{}};
+      sim::ActorScope scope(actor);
+      auto conn = p.accept(listener, scif::SCIF_ACCEPT_SYNC);
+      if (!conn) return;
+      auto dev = bed.card().memory().allocate(bytes);
+      if (!dev) return;
+      auto reg = p.register_mem(conn->epd, bed.card().memory().at(*dev),
+                                bytes, 0,
+                                scif::SCIF_PROT_READ | scif::SCIF_PROT_WRITE,
+                                scif::SCIF_MAP_FIXED);
+      if (!reg) return;
+      std::uint8_t ready = 1;
+      p.send(conn->epd, &ready, 1, scif::SCIF_SEND_BLOCK);
+      std::uint8_t bye;
+      p.recv(conn->epd, &bye, 1, scif::SCIF_RECV_BLOCK);
+      p.close(conn->epd);
+      p.close(listener);
+      bed.card().memory().free(*dev);
+    });
+  }
+
+  ~CardWindowServer() {
+    if (server_.valid()) server_.wait();
+  }
+
+ private:
+  std::future<void> server_;
+};
+
+int list_metrics(Testbed& bed) {
+  (void)bed;  // its stack is what populates the registry
+  sim::fault_injector();  // instantiate the per-site fault counters too
+  for (const auto& name : sim::metrics::registry().metric_names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int run(const Options& opts) {
+  TestbedConfig config;
+  config.card_backing_bytes = 192ull << 20;
+  config.vm_ram_bytes = 192ull << 20;
+  config.start_coi_daemon = false;
+  if (opts.rma_chunk != 0) config.frontend.rma_chunk = opts.rma_chunk;
+  // Serial chunk walk (the default pipeline_window = 1): each request's
+  // span tiles the timeline end to end, so sum(hops) must reproduce the
+  // end-to-end measurement — the consistency check this tool enforces.
+  Testbed bed{config};
+
+  if (opts.list_metrics) return list_metrics(bed);
+
+  sim::tracer().set_enabled(true);
+
+  CardWindowServer server{bed, kPort, opts.size};
+  auto& guest = bed.vm(0).guest_scif();
+
+  sim::Actor actor{"vm-client", sim::Actor::AtNow{}};
+  sim::ActorScope scope(actor);
+
+  auto epd_e = guest.open();
+  if (!epd_e) return 1;
+  const int epd = *epd_e;
+  if (!sim::ok(guest.connect(epd, scif::PortId{bed.card_node(), kPort}))) {
+    std::fprintf(stderr, "vphi-stat: connect failed\n");
+    return 1;
+  }
+  std::uint8_t ready;
+  guest.recv(epd, &ready, 1, scif::SCIF_RECV_BLOCK);
+
+  auto buf = bed.vm(0).alloc_user_buffer(opts.size);
+  if (!buf) return 1;
+  auto reg = guest.register_mem(epd, *buf, opts.size, 0,
+                                scif::SCIF_PROT_READ | scif::SCIF_PROT_WRITE,
+                                0);
+  if (!reg) return 1;
+
+  // Warm-up read synchronizes the client timeline with the service loops;
+  // its spans are discarded so the table covers exactly one measured read.
+  if (!sim::ok(guest.readfrom(epd, *reg, opts.size, 0, scif::SCIF_RMA_SYNC))) {
+    std::fprintf(stderr, "vphi-stat: warm-up read failed\n");
+    return 1;
+  }
+  sim::tracer().clear();
+
+  const sim::Nanos before = actor.now();
+  if (!sim::ok(guest.readfrom(epd, *reg, opts.size, 0, scif::SCIF_RMA_SYNC))) {
+    std::fprintf(stderr, "vphi-stat: measured read failed\n");
+    return 1;
+  }
+  const sim::Nanos end_to_end = actor.now() - before;
+
+  const auto hops = sim::tracer().hop_breakdown();
+  const std::size_t requests = sim::tracer().request_count();
+
+  if (!opts.trace_out.empty()) {
+    if (sim::tracer().write_chrome_trace(opts.trace_out)) {
+      std::printf("wrote %s (%zu events)\n", opts.trace_out.c_str(),
+                  sim::tracer().event_count());
+    } else {
+      std::fprintf(stderr, "vphi-stat: cannot write %s\n",
+                   opts.trace_out.c_str());
+      return 1;
+    }
+  }
+  sim::tracer().set_enabled(false);  // keep teardown out of the table
+
+  double hop_total_ns = 0.0;
+  for (const auto& h : hops) {
+    hop_total_ns += h.ns.mean() * static_cast<double>(h.ns.count());
+  }
+
+  std::printf("# vphi-stat: %zu MiB RMA read, %zu ring request(s)\n",
+              opts.size >> 20, requests);
+  std::printf("%-28s %6s %12s %12s %7s\n", "hop", "count", "mean_us",
+              "total_us", "share");
+  for (const auto& h : hops) {
+    const double total = h.ns.mean() * static_cast<double>(h.ns.count());
+    std::printf("%-12s -> %-12s %6llu %12.2f %12.2f %6.1f%%\n",
+                sim::span_event_name(h.from), sim::span_event_name(h.to),
+                static_cast<unsigned long long>(h.ns.count()),
+                h.ns.mean() / 1e3, total / 1e3,
+                hop_total_ns > 0.0 ? 100.0 * total / hop_total_ns : 0.0);
+  }
+  std::printf("%-28s %6s %12s %12.2f\n", "-- hop sum --", "", "",
+              hop_total_ns / 1e3);
+  std::printf("%-28s %6s %12s %12.2f\n", "-- end-to-end --", "", "",
+              static_cast<double>(end_to_end) / 1e3);
+
+  // Per-request spans telescope (consecutive hop deltas sum to complete -
+  // submit), and the serial walk tiles the timeline, so the hop sum must
+  // reproduce the end-to-end number. A gap means a missing or misplaced
+  // span anchor.
+  const double deviation =
+      end_to_end > 0
+          ? (hop_total_ns - static_cast<double>(end_to_end)) /
+                static_cast<double>(end_to_end)
+          : 1.0;
+  std::printf("hop sum vs end-to-end: %+.2f%% (tolerance 5%%)\n",
+              100.0 * deviation);
+
+  std::uint8_t bye = 0;
+  guest.send(epd, &bye, 1, scif::SCIF_SEND_BLOCK);
+  guest.close(epd);
+  bed.vm(0).free_user_buffer(*buf);
+
+  if (deviation > 0.05 || deviation < -0.05) {
+    std::fprintf(stderr,
+                 "vphi-stat: hop sum deviates from end-to-end by more "
+                 "than 5%%\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int vphi_stat_main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) {
+    usage(argc > 0 ? argv[0] : "vphi-stat");
+    return 2;
+  }
+  return run(opts);
+}
+
+}  // namespace vphi::tools

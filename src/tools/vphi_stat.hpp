@@ -1,0 +1,23 @@
+// vphi-stat: hop-by-hop latency breakdown of the vPHI transport.
+//
+// Drives one RMA read through a full vPHI stack with request tracing on and
+// prints the per-hop latency table (the simulated analogue of the paper's
+// Sec. IV-B breakdown, derived from measured spans instead of cost-model
+// constants). Exits non-zero when the hop sum disagrees with the end-to-end
+// measurement by more than 5% — the identity that proves the trace spans
+// tile the request timeline.
+//
+// Flags:
+//   --size N           bytes to read (default 64 MiB)
+//   --trace-out PATH   also write a Chrome "chrome://tracing" JSON trace
+//   --list-metrics     print every registered metric name and exit
+//   --smoke            CI-sized run (8 MiB read over 2 MiB RMA chunks) that
+//                      writes vphi_stat_trace.json by default
+#pragma once
+
+namespace vphi::tools {
+
+/// The vphi-stat entry point (argv-style so tests can call it in-process).
+int vphi_stat_main(int argc, char** argv);
+
+}  // namespace vphi::tools

@@ -28,6 +28,7 @@ Virtqueue::Virtqueue(std::uint16_t size, MemTranslate translate)
   table_.resize(size_);
   avail_ring_.resize(size_);
   avail_publish_ts_.resize(size_);
+  trace_by_head_.resize(size_);
   used_ring_.resize(size_);
   // Chain all descriptors into the free list.
   for (std::uint16_t i = 0; i < size_; ++i) {
@@ -71,7 +72,8 @@ bool Virtqueue::event_idx_enabled() const {
 
 sim::Expected<std::uint16_t> Virtqueue::add_buf(std::span<const BufferRef> out,
                                                 std::span<const BufferRef> in,
-                                                sim::Nanos publish_ts) {
+                                                sim::Nanos publish_ts,
+                                                sim::TraceId trace) {
   const std::size_t total = out.size() + in.size();
   if (total == 0) return sim::Status::kInvalidArgument;
   std::lock_guard lock(mu_);
@@ -100,7 +102,9 @@ sim::Expected<std::uint16_t> Virtqueue::add_buf(std::span<const BufferRef> out,
 
   avail_ring_[avail_idx_ % size_] = head;
   avail_publish_ts_[avail_idx_ % size_] = publish_ts;
+  trace_by_head_[head] = trace;
   ++avail_idx_;
+  sim::tracer().record(trace, sim::SpanEvent::kAvailPublish, publish_ts);
   return head;
 }
 
@@ -112,23 +116,19 @@ bool Virtqueue::kick_prepare() {
   if (vring_need_event(avail_event_shadow_, avail_idx_, old_idx)) return true;
   // The device's avail_event is not inside the freshly published range: it
   // is awake and draining, and will pick the entries up without a doorbell.
-  ++suppressed_kicks_;
+  suppressed_kicks_.inc();
   return false;
 }
 
 void Virtqueue::kick(sim::Nanos visible_ts) {
-  {
-    std::lock_guard lock(mu_);
-    ++kick_count_;
-  }
+  kick_count_.inc();
   auto& fi = sim::fault_injector();
   if (fi.should_fire(sim::FaultSite::kKickDrop)) {
     // The doorbell write never reaches the device: the avail entry sits in
     // the ring until a later kick (the frontend's timeout path sends a
     // rescue kick) flushes it through.
     VPHI_LOG(kWarn, "virtio") << "kick at " << visible_ts << " dropped";
-    std::lock_guard lock(mu_);
-    ++dropped_kicks_;
+    dropped_kicks_.inc();
     return;
   }
   if (fi.should_fire(sim::FaultSite::kKickDelay)) {
@@ -232,6 +232,7 @@ std::optional<Chain> Virtqueue::try_pop_avail_locked() {
 
   Chain chain;
   chain.head = head;
+  chain.trace = trace_by_head_[head];
   // Lower bound for the device's view of the entry: when the doorbell is
   // suppressed (EVENT_IDX) no raise timestamp exists, so the publish time
   // carries the causality instead. pop_avail/pop_avail_batch still max()
@@ -246,7 +247,7 @@ std::optional<Chain> Virtqueue::try_pop_avail_locked() {
     // and poison anything that exceeds it instead of spinning forever.
     if (d >= size_ || walked == size_) {
       chain.poisoned = true;
-      ++poisoned_chains_;
+      poisoned_chains_.inc();
       VPHI_LOG(kWarn, "virtio")
           << "descriptor walk from head " << head
           << " exceeded " << size_ << " segments: poisoning chain";
@@ -266,7 +267,7 @@ std::optional<Chain> Virtqueue::try_pop_avail_locked() {
   }
   if (inject_truncate && chain.segments.size() > 1) {
     chain.segments.pop_back();
-    ++truncated_chains_;
+    truncated_chains_.inc();
     VPHI_LOG(kWarn, "virtio") << "chain from head " << head
                               << " truncated to " << chain.segments.size()
                               << " segment(s)";
@@ -294,7 +295,7 @@ bool Virtqueue::should_interrupt() {
     used_signal_point_ = used_idx_;
     return true;
   }
-  ++suppressed_irqs_;
+  suppressed_irqs_.inc();
   return false;
 }
 
@@ -304,6 +305,9 @@ sim::Status Virtqueue::push_used(std::uint16_t head, std::uint32_t written,
   if (head >= size_) return sim::Status::kInvalidArgument;
   used_ring_[used_idx_ % size_] = UsedElem{head, written, done_ts};
   ++used_idx_;
+  sim::tracer().record(trace_by_head_[head], sim::SpanEvent::kUsedPublish,
+                       done_ts);
+  trace_by_head_[head] = 0;
   return sim::Status::kOk;
 }
 
@@ -322,36 +326,6 @@ std::uint16_t Virtqueue::avail_idx() const {
 std::uint16_t Virtqueue::used_idx() const {
   std::lock_guard lock(mu_);
   return used_idx_;
-}
-
-std::uint64_t Virtqueue::kicks() const {
-  std::lock_guard lock(mu_);
-  return kick_count_;
-}
-
-std::uint64_t Virtqueue::dropped_kicks() const {
-  std::lock_guard lock(mu_);
-  return dropped_kicks_;
-}
-
-std::uint64_t Virtqueue::suppressed_kicks() const {
-  std::lock_guard lock(mu_);
-  return suppressed_kicks_;
-}
-
-std::uint64_t Virtqueue::suppressed_irqs() const {
-  std::lock_guard lock(mu_);
-  return suppressed_irqs_;
-}
-
-std::uint64_t Virtqueue::poisoned_chains() const {
-  std::lock_guard lock(mu_);
-  return poisoned_chains_;
-}
-
-std::uint64_t Virtqueue::truncated_chains() const {
-  std::lock_guard lock(mu_);
-  return truncated_chains_;
 }
 
 }  // namespace vphi::virtio

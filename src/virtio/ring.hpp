@@ -20,7 +20,9 @@
 
 #include "sim/actor.hpp"
 #include "sim/channel.hpp"
+#include "sim/metrics.hpp"
 #include "sim/status.hpp"
+#include "sim/trace.hpp"
 
 namespace vphi::virtio {
 
@@ -57,6 +59,9 @@ using MemTranslate =
 struct Chain {
   std::uint16_t head = 0;
   sim::Nanos kick_ts = 0;
+  /// Trace context of the request riding this chain (0 = untraced). Host-
+  /// side bookkeeping only — the wire format is untouched.
+  sim::TraceId trace = 0;
   /// The descriptor walk hit the size_ cap or an out-of-table index — the
   /// guest posted a cyclic or corrupted chain. The device must not trust
   /// any segment content; it should answer with an error response (or a
@@ -98,10 +103,13 @@ class Virtqueue {
   /// device-writable (WRITE flag). Returns the chain's head descriptor id,
   /// or kNoSpace when the table cannot hold the chain. `publish_ts` is the
   /// simulated time the avail entry became visible; it bounds the chain's
-  /// kick_ts when the doorbell itself is suppressed (EVENT_IDX).
+  /// kick_ts when the doorbell itself is suppressed (EVENT_IDX). `trace`
+  /// ties the chain to a request trace: the ring records kAvailPublish now,
+  /// stamps popped Chains with it, and records kUsedPublish on completion.
   sim::Expected<std::uint16_t> add_buf(std::span<const BufferRef> out,
                                        std::span<const BufferRef> in,
-                                       sim::Nanos publish_ts = 0);
+                                       sim::Nanos publish_ts = 0,
+                                       sim::TraceId trace = 0);
 
   /// Ask whether a doorbell is needed for the entries published since the
   /// last kick_prepare (virtqueue_kick_prepare). Always true with EVENT_IDX
@@ -157,18 +165,20 @@ class Virtqueue {
   std::uint16_t free_descriptors() const;
   std::uint16_t avail_idx() const;
   std::uint16_t used_idx() const;
-  std::uint64_t kicks() const;
+  // Per-instance reads of the registered metrics (registry names in
+  // docs/OBSERVABILITY.md; a multi-VM snapshot sums across instances).
+  std::uint64_t kicks() const { return kick_count_.value(); }
   /// Kicks swallowed by fault injection (kKickDrop).
-  std::uint64_t dropped_kicks() const;
+  std::uint64_t dropped_kicks() const { return dropped_kicks_.value(); }
   /// Doorbells elided because the device was already draining (EVENT_IDX).
-  std::uint64_t suppressed_kicks() const;
+  std::uint64_t suppressed_kicks() const { return suppressed_kicks_.value(); }
   /// Interrupts elided because no driver armed used_event (EVENT_IDX).
-  std::uint64_t suppressed_irqs() const;
+  std::uint64_t suppressed_irqs() const { return suppressed_irqs_.value(); }
   /// Chains whose descriptor walk was cut short by the size_ cap (cyclic or
   /// corrupted next pointers, genuine or injected).
-  std::uint64_t poisoned_chains() const;
+  std::uint64_t poisoned_chains() const { return poisoned_chains_.value(); }
   /// Chains whose segment list lost its tail to fault injection.
-  std::uint64_t truncated_chains() const;
+  std::uint64_t truncated_chains() const { return truncated_chains_.value(); }
 
  private:
   sim::Expected<std::uint16_t> alloc_desc_locked();
@@ -184,6 +194,7 @@ class Virtqueue {
   std::vector<Desc> table_;
   std::vector<std::uint16_t> avail_ring_;
   std::vector<sim::Nanos> avail_publish_ts_;  ///< parallel to avail_ring_
+  std::vector<sim::TraceId> trace_by_head_;   ///< indexed by head descriptor
   std::vector<UsedElem> used_ring_;
   std::uint16_t free_head_ = 0;      ///< head of the free-descriptor list
   std::uint16_t num_free_ = 0;
@@ -191,10 +202,10 @@ class Virtqueue {
   std::uint16_t avail_consumed_ = 0; ///< device's consumer index
   std::uint16_t used_idx_ = 0;       ///< device's producer index
   std::uint16_t used_consumed_ = 0;  ///< driver's consumer index
-  std::uint64_t kick_count_ = 0;
-  std::uint64_t dropped_kicks_ = 0;
-  std::uint64_t poisoned_chains_ = 0;
-  std::uint64_t truncated_chains_ = 0;
+  sim::metrics::Counter kick_count_{"vphi.ring.kicks"};
+  sim::metrics::Counter dropped_kicks_{"vphi.ring.kicks_dropped"};
+  sim::metrics::Counter poisoned_chains_{"vphi.ring.chains_poisoned"};
+  sim::metrics::Counter truncated_chains_{"vphi.ring.chains_truncated"};
 
   // --- EVENT_IDX state (virtio 1.0 sec 2.6.7) -------------------------------
   bool event_idx_ = false;
@@ -202,8 +213,8 @@ class Virtqueue {
   std::uint16_t kick_point_ = 0;      ///< driver: avail_idx_ at last prepare
   std::uint16_t used_event_shadow_ = 0;   ///< driver: "irq me past this idx"
   std::uint16_t used_signal_point_ = 0;   ///< device: used_idx_ at last irq
-  std::uint64_t suppressed_kicks_ = 0;
-  std::uint64_t suppressed_irqs_ = 0;
+  sim::metrics::Counter suppressed_kicks_{"vphi.ring.kicks_suppressed"};
+  sim::metrics::Counter suppressed_irqs_{"vphi.ring.irqs_suppressed"};
 
   sim::EventLine avail_event_;
 };

@@ -9,6 +9,7 @@
 #include "sim/actor.hpp"
 #include "sim/fault.hpp"
 #include "sim/log.hpp"
+#include "sim/trace.hpp"
 
 namespace vphi::core {
 
@@ -110,11 +111,8 @@ void BackendDevice::service_loop() {
         // well-formed error response and recycle the chain.
         VPHI_LOG(kWarn, "vphi-be")
             << "rejecting poisoned chain head=" << chain.head;
-        {
-          std::lock_guard lock(mu_);
-          ++malformed_chains_;
-          ++poisoned_chains_;
-        }
+        malformed_chains_.inc();
+        poisoned_chains_.inc();
         reject_chain(chain, sim::Status::kIoError, chain.kick_ts);
         continue;
       }
@@ -126,10 +124,7 @@ void BackendDevice::service_loop() {
         VPHI_LOG(kWarn, "vphi-be")
             << "rejecting malformed chain head=" << chain.head << " ("
             << chain.segments.size() << " segment(s))";
-        {
-          std::lock_guard lock(mu_);
-          ++malformed_chains_;
-        }
+        malformed_chains_.inc();
         reject_chain(chain, sim::Status::kInvalidArgument, chain.kick_ts);
         continue;
       }
@@ -139,12 +134,15 @@ void BackendDevice::service_loop() {
       const ExecMode mode = policy_.classify(req.op, req.payload_len);
       {
         std::lock_guard lock(mu_);
-        ++op_counts_[req.op];
-        if (mode == ExecMode::kWorker) {
-          ++worker_requests_;
-        } else {
-          ++blocking_requests_;
-        }
+        op_counts_
+            .try_emplace(req.op, std::string("vphi.be.op.") +
+                                     op_name(req.op) + ".requests")
+            .first->second.inc();
+      }
+      if (mode == ExecMode::kWorker) {
+        worker_requests_.inc();
+      } else {
+        blocking_requests_.inc();
       }
 
       if (mode == ExecMode::kWorker) {
@@ -231,7 +229,11 @@ void BackendDevice::reject_chain(const virtio::Chain& chain,
   vm_->vq().push_used(chain.head, written, done_ts);
   // EVENT_IDX: only interrupt if the driver's used_event asks for this
   // completion; a coalesced batch raises one vIRQ for its newest entry.
-  if (vm_->vq().should_interrupt()) vm_->inject_irq(done_ts);
+  if (vm_->vq().should_interrupt()) {
+    sim::tracer().record(chain.trace, sim::SpanEvent::kVirq,
+                         done_ts + vm_->model().irq_inject_ns);
+    vm_->inject_irq(done_ts);
+  }
 }
 
 sim::Status BackendDevice::validate_request(const RequestHeader& req,
@@ -268,6 +270,9 @@ void BackendDevice::process_chain(sim::Actor& actor,
                                   const virtio::Chain& chain) {
   const auto& m = vm_->model();
   actor.sync_and_advance(chain.kick_ts, m.be_dispatch_ns);
+  // Covers every execution mode — event loop, free worker, per-endpoint
+  // FIFO runner — because each of them lands here on its own actor.
+  sim::tracer().record(chain.trace, sim::SpanEvent::kBackendPop, actor.now());
 
   RequestHeader req;
   std::memcpy(&req, chain.segments[0].ptr, sizeof(RequestHeader));
@@ -298,10 +303,7 @@ void BackendDevice::process_chain(sim::Actor& actor,
     // No usable response slot; reject (writes nothing, zero-length used).
     VPHI_LOG(kWarn, "vphi-be") << "chain head=" << chain.head
                                << " has no usable response segment";
-    {
-      std::lock_guard lock(mu_);
-      ++malformed_chains_;
-    }
+    malformed_chains_.inc();
     reject_chain(chain, sim::Status::kInvalidArgument, actor.now());
     return;
   }
@@ -312,12 +314,11 @@ void BackendDevice::process_chain(sim::Actor& actor,
         << "request head=" << chain.head << " op="
         << static_cast<std::uint32_t>(req.op) << " payload_len="
         << req.payload_len << " failed validation: " << sim::to_string(valid);
-    {
-      std::lock_guard lock(mu_);
-      ++validation_failures_;
-    }
+    validation_failures_.inc();
     set_status(resp, valid);
   } else {
+    sim::tracer().record(chain.trace, sim::SpanEvent::kHostSyscall,
+                         actor.now());
     execute(actor, req, out_payload, out_len, in_payload, in_capacity, resp);
   }
 
@@ -352,7 +353,14 @@ void BackendDevice::process_chain(sim::Actor& actor,
   // EVENT_IDX: suppress the vIRQ when the driver's used_event says it is
   // not waiting for this entry (it will reap it from the used ring on the
   // coalesced interrupt of a sibling, or on its own arm-then-recheck).
-  if (vm_->vq().should_interrupt()) vm_->inject_irq(actor.now());
+  if (vm_->vq().should_interrupt()) {
+    // Stamped at guest-visible delivery time, so the virq->wakeup hop is
+    // exactly the ISR + waiting-scheme cost the paper's Sec. IV-B singles
+    // out. Suppressed vIRQs leave the hop out, like suppressed kicks.
+    sim::tracer().record(chain.trace, sim::SpanEvent::kVirq,
+                         actor.now() + m.irq_inject_ns);
+    vm_->inject_irq(actor.now());
+  }
 }
 
 void BackendDevice::execute(sim::Actor& actor, const RequestHeader& req,
@@ -601,42 +609,10 @@ void BackendDevice::execute(sim::Actor& actor, const RequestHeader& req,
 
 // --- statistics ------------------------------------------------------------------
 
-std::uint64_t BackendDevice::requests_handled() const {
-  std::lock_guard lock(mu_);
-  std::uint64_t total = 0;
-  for (const auto& [_, n] : op_counts_) total += n;
-  return total;
-}
-
-std::uint64_t BackendDevice::worker_requests() const {
-  std::lock_guard lock(mu_);
-  return worker_requests_;
-}
-
-std::uint64_t BackendDevice::blocking_requests() const {
-  std::lock_guard lock(mu_);
-  return blocking_requests_;
-}
-
 std::uint64_t BackendDevice::op_count(Op op) const {
   std::lock_guard lock(mu_);
   auto it = op_counts_.find(op);
-  return it == op_counts_.end() ? 0 : it->second;
-}
-
-std::uint64_t BackendDevice::malformed_chains() const {
-  std::lock_guard lock(mu_);
-  return malformed_chains_;
-}
-
-std::uint64_t BackendDevice::poisoned_chains() const {
-  std::lock_guard lock(mu_);
-  return poisoned_chains_;
-}
-
-std::uint64_t BackendDevice::validation_failures() const {
-  std::lock_guard lock(mu_);
-  return validation_failures_;
+  return it == op_counts_.end() ? 0 : it->second.value();
 }
 
 }  // namespace vphi::core

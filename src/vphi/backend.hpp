@@ -28,6 +28,7 @@
 
 #include "hv/vm.hpp"
 #include "scif/host_provider.hpp"
+#include "sim/metrics.hpp"
 #include "sim/status.hpp"
 #include "vphi/protocol.hpp"
 
@@ -71,18 +72,26 @@ class BackendDevice {
   hv::Vm& vm() noexcept { return *vm_; }
 
   // --- statistics ------------------------------------------------------------
-  std::uint64_t requests_handled() const;
-  std::uint64_t worker_requests() const;
-  std::uint64_t blocking_requests() const;
+  // Per-instance reads of the registered metrics ("vphi.be.*" in the
+  // registry; see docs/OBSERVABILITY.md).
+  std::uint64_t requests_handled() const {
+    return worker_requests_.value() + blocking_requests_.value();
+  }
+  std::uint64_t worker_requests() const { return worker_requests_.value(); }
+  std::uint64_t blocking_requests() const {
+    return blocking_requests_.value();
+  }
   std::uint64_t op_count(Op op) const;
   /// Chains rejected before decoding: missing/short header segment, no
   /// usable response segment, or poisoned by the ring walk.
-  std::uint64_t malformed_chains() const;
+  std::uint64_t malformed_chains() const { return malformed_chains_.value(); }
   /// Poisoned (cyclic/corrupted-walk) chains among the malformed ones.
-  std::uint64_t poisoned_chains() const;
+  std::uint64_t poisoned_chains() const { return poisoned_chains_.value(); }
   /// Well-formed chains whose header failed validation against the actual
   /// chain geometry (lying payload_len, bad op, bad poll bounds, ...).
-  std::uint64_t validation_failures() const;
+  std::uint64_t validation_failures() const {
+    return validation_failures_.value();
+  }
 
  private:
   void service_loop();
@@ -122,12 +131,12 @@ class BackendDevice {
   std::atomic<bool> running_{false};
 
   mutable std::mutex mu_;
-  std::map<Op, std::uint64_t> op_counts_;
-  std::uint64_t worker_requests_ = 0;
-  std::uint64_t blocking_requests_ = 0;
-  std::uint64_t malformed_chains_ = 0;
-  std::uint64_t poisoned_chains_ = 0;
-  std::uint64_t validation_failures_ = 0;
+  std::map<Op, sim::metrics::Counter> op_counts_;  ///< guarded by mu_
+  sim::metrics::Counter worker_requests_{"vphi.be.requests.worker"};
+  sim::metrics::Counter blocking_requests_{"vphi.be.requests.blocking"};
+  sim::metrics::Counter malformed_chains_{"vphi.be.malformed_chains"};
+  sim::metrics::Counter poisoned_chains_{"vphi.be.poisoned_chains"};
+  sim::metrics::Counter validation_failures_{"vphi.be.validation_failures"};
 
   // Per-endpoint ordered worker queues (transfer ops in worker mode).
   std::mutex ep_mu_;

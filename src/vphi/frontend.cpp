@@ -62,6 +62,15 @@ constexpr bool idempotent_op(Op op) noexcept {
 }
 }  // namespace
 
+FrontendDriver::OpCounters::OpCounters(Op op)
+    : errors(std::string("vphi.fe.op.") + op_name(op) + ".errors"),
+      timeouts(std::string("vphi.fe.op.") + op_name(op) + ".timeouts"),
+      retries(std::string("vphi.fe.op.") + op_name(op) + ".retries") {}
+
+FrontendDriver::OpCounters& FrontendDriver::op_counters_locked(Op op) {
+  return counters_.try_emplace(op, op).first->second;
+}
+
 const char* wait_scheme_name(WaitScheme scheme) noexcept {
   switch (scheme) {
     case WaitScheme::kInterrupt: return "interrupt";
@@ -127,6 +136,7 @@ void FrontendDriver::drain_used(sim::Nanos ts_floor) {
         // buffers are safe to recycle now that the device is done with them.
         for (const std::uint64_t gpa : z->second) vm_->ram().kfree(gpa);
         zombies_.erase(z);
+        zombie_chains_.add(-1);
         continue;
       }
       auto owner = inflight_.find(head);
@@ -189,9 +199,9 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
     }
     {
       std::lock_guard lock(mu_);
-      ++counters_[op].retries;
-      ++retries_;
+      op_counters_locked(op).retries.inc();
     }
+    retries_.inc();
     VPHI_LOG(kWarn, "vphi-fe")
         << "op " << op_name(op) << " failed with " << sim::to_string(st)
         << "; retry " << attempt + 1 << "/" << config_.max_retries;
@@ -235,11 +245,11 @@ FrontendDriver::wait_all(sim::Actor& actor, std::span<const Token> tokens) {
 
 void FrontendDriver::record_failure(Op op, sim::Status st) {
   std::lock_guard lock(mu_);
-  auto& c = counters_[op];
-  ++c.errors;
+  auto& c = op_counters_locked(op);
+  c.errors.inc();
   if (st == sim::Status::kTimedOut) {
-    ++c.timeouts;
-    ++timeouts_;
+    c.timeouts.inc();
+    timeouts_.inc();
   }
 }
 
@@ -263,6 +273,14 @@ sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
   }
   const auto& m = vm_->model();
   auto& ram = vm_->ram();
+
+  // Allocate the request's trace context before any cost is charged, so the
+  // kSubmit-to-kComplete span is the whole driver round trip. Tracing never
+  // advances `actor`, so enabling it does not move a single simulated
+  // number.
+  const sim::Nanos submit_ts = actor.now();
+  const sim::TraceId trace =
+      sim::tracer().begin_request(op_name(args.header.op), submit_ts);
 
   actor.advance(m.fe_prepare_ns);
 
@@ -341,7 +359,7 @@ sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
     std::lock_guard lock(mu_);
     const sim::Nanos publish_ts = actor.now() + m.virtio_enqueue_ns;
     auto posted = vm_->vq().add_buf({out_refs, n_out}, {in_refs, n_in},
-                                    publish_ts);
+                                    publish_ts, trace);
     if (!posted) {
       if (!polling) vm_->kernel().waitq().cancel(ticket);
       return posted.status();
@@ -361,14 +379,20 @@ sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
     if (args.out_len > 0) p.gpas.push_back(out_guard.release());
     p.gpas.push_back(resp_guard.release());
     if (args.in_len > 0) p.gpas.push_back(in_guard.release());
+    p.trace = trace;
+    p.submit_ts = submit_ts;
     pending_.emplace(seq, std::move(p));
     inflight_[head] = seq;
-    ++requests_;
+    requests_.inc();
   }
 
   actor.advance(m.virtio_enqueue_ns);
   if (vm_->vq().kick_prepare()) {
     const sim::Nanos kick_ts = vm_->kick_cost(actor);
+    // Only doorbells actually rung appear in the trace: a suppressed kick
+    // leaves the hop out, which is exactly how the EVENT_IDX win shows up
+    // in the per-hop breakdown.
+    sim::tracer().record(trace, sim::SpanEvent::kKick, kick_ts);
     vm_->vq().kick(kick_ts);
   }
   // else: EVENT_IDX said the device is already draining — the published
@@ -415,7 +439,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
       path = Path::kFast;
       req = std::move(p);
       pending_.erase(it);
-      ++fast_reaps_;
+      fast_reaps_.inc();
     } else {
       path = p.interrupt_wait ? Path::kInterrupt : Path::kPolling;
       ticket = p.ticket;
@@ -428,14 +452,12 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
   if (path == Path::kFast) {
     if (req.interrupt_wait) vm_->kernel().waitq().cancel(req.ticket);
     actor.advance(m.pipeline_reap_ns);
+    sim::tracer().record(req.trace, sim::SpanEvent::kWakeup, actor.now());
     return finish(actor, req);
   }
 
   if (path == Path::kInterrupt) {
-    {
-      std::lock_guard lock(mu_);
-      ++interrupt_waits_;
-    }
+    interrupt_waits_.inc();
     // Arm-then-recheck (EVENT_IDX): arm used_event so the next completion
     // interrupts us; while the arm reports used entries already pending
     // (their interrupt was coalesced away before we armed), drain them
@@ -463,6 +485,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
           pending_.erase(it);
           forget_inflight_locked(head, token.seq);
           zombies_[head] = std::move(req.gpas);
+          zombie_chains_.add(1);
         }
       }
       if (!completed) {
@@ -533,6 +556,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
           pending_.erase(it);
           forget_inflight_locked(head, token.seq);
           zombies_[head] = std::move(req.gpas);
+          zombie_chains_.add(1);
           timed_out = true;
         }
       }
@@ -550,11 +574,8 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
       if (timed_out) break;
       std::this_thread::yield();
     }
-    {
-      std::lock_guard lock(mu_);
-      ++polled_waits_;
-      poll_cpu_burn_ += burned;
-    }
+    polled_waits_.inc();
+    poll_cpu_burn_ns_.inc(burned);
     if (timed_out) {
       if (!done) {
         vm_->vq().kick(actor.now());  // rescue a stranded chain
@@ -569,6 +590,10 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
     }
   }
 
+  // Both surviving paths resumed the guest context at actor.now(): after
+  // the waitq wait (which charged IRQ visibility + ISR + wakeup-scheme
+  // costs) or after the poll loop synced to done_ts.
+  sim::tracer().record(req.trace, sim::SpanEvent::kWakeup, actor.now());
   return finish(actor, req);
 }
 
@@ -585,11 +610,9 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::finish(
     VPHI_LOG(kWarn, "vphi-fe")
         << "op " << op_name(req.op) << " head=" << req.head
         << " used.len=" << req.written << " < response header size";
-    {
-      std::lock_guard lock(mu_);
-      ++protocol_errors_;
-    }
+    protocol_errors_.inc();
     free_buffers(req);
+    sim::tracer().record(req.trace, sim::SpanEvent::kComplete, actor.now());
     return sim::Status::kIoError;
   }
   TransactResult result;
@@ -605,11 +628,9 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::finish(
         << "op " << op_name(req.op) << " head=" << req.head
         << " malformed response: status=" << result.response.status
         << " payload_len=" << result.response.payload_len;
-    {
-      std::lock_guard lock(mu_);
-      ++protocol_errors_;
-    }
+    protocol_errors_.inc();
     free_buffers(req);
+    sim::tracer().record(req.trace, sim::SpanEvent::kComplete, actor.now());
     return sim::Status::kIoError;
   }
   const std::size_t copy_back = result.response.payload_len;
@@ -621,70 +642,32 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::finish(
   }
   result.in_written = copy_back;
   free_buffers(req);
+  sim::tracer().record(req.trace, sim::SpanEvent::kComplete, actor.now());
+  request_latency_.record(actor.now() - req.submit_ts);
   return result;
-}
-
-std::uint64_t FrontendDriver::requests() const {
-  std::lock_guard lock(mu_);
-  return requests_;
-}
-
-std::uint64_t FrontendDriver::interrupt_waits() const {
-  std::lock_guard lock(mu_);
-  return interrupt_waits_;
-}
-
-std::uint64_t FrontendDriver::polled_waits() const {
-  std::lock_guard lock(mu_);
-  return polled_waits_;
-}
-
-sim::Nanos FrontendDriver::poll_cpu_burn() const {
-  std::lock_guard lock(mu_);
-  return poll_cpu_burn_;
-}
-
-std::uint64_t FrontendDriver::timeouts() const {
-  std::lock_guard lock(mu_);
-  return timeouts_;
-}
-
-std::uint64_t FrontendDriver::retries() const {
-  std::lock_guard lock(mu_);
-  return retries_;
-}
-
-std::uint64_t FrontendDriver::protocol_errors() const {
-  std::lock_guard lock(mu_);
-  return protocol_errors_;
 }
 
 std::uint64_t FrontendDriver::op_errors(Op op) const {
   std::lock_guard lock(mu_);
   auto it = counters_.find(op);
-  return it == counters_.end() ? 0 : it->second.errors;
+  return it == counters_.end() ? 0 : it->second.errors.value();
 }
 
 std::uint64_t FrontendDriver::op_timeouts(Op op) const {
   std::lock_guard lock(mu_);
   auto it = counters_.find(op);
-  return it == counters_.end() ? 0 : it->second.timeouts;
+  return it == counters_.end() ? 0 : it->second.timeouts.value();
 }
 
 std::uint64_t FrontendDriver::op_retries(Op op) const {
   std::lock_guard lock(mu_);
   auto it = counters_.find(op);
-  return it == counters_.end() ? 0 : it->second.retries;
+  return it == counters_.end() ? 0 : it->second.retries.value();
 }
 
 std::size_t FrontendDriver::pending_requests() const {
   std::lock_guard lock(mu_);
   return pending_.size();
-}
-
-std::uint64_t FrontendDriver::fast_reaps() const {
-  std::lock_guard lock(mu_);
-  return fast_reaps_;
 }
 
 }  // namespace vphi::core

@@ -24,7 +24,9 @@
 
 #include "hv/vm.hpp"
 #include "sim/actor.hpp"
+#include "sim/metrics.hpp"
 #include "sim/status.hpp"
+#include "sim/trace.hpp"
 #include "vphi/protocol.hpp"
 
 namespace vphi::core {
@@ -149,19 +151,21 @@ class FrontendDriver {
   const Config& config() const noexcept { return config_; }
 
   // --- statistics -----------------------------------------------------------
-  std::uint64_t requests() const;
-  std::uint64_t interrupt_waits() const;
-  std::uint64_t polled_waits() const;
+  // Per-instance reads of the registered metrics ("vphi.fe.*" in the
+  // registry; see docs/OBSERVABILITY.md for the catalogue).
+  std::uint64_t requests() const { return requests_.value(); }
+  std::uint64_t interrupt_waits() const { return interrupt_waits_.value(); }
+  std::uint64_t polled_waits() const { return polled_waits_.value(); }
   /// Simulated CPU time burned spinning (polling scheme).
-  sim::Nanos poll_cpu_burn() const;
+  sim::Nanos poll_cpu_burn() const { return poll_cpu_burn_ns_.value(); }
   /// Requests that hit their deadline (total and per op).
-  std::uint64_t timeouts() const;
+  std::uint64_t timeouts() const { return timeouts_.value(); }
   /// Transport-level retries issued (total and per op).
-  std::uint64_t retries() const;
+  std::uint64_t retries() const { return retries_.value(); }
   /// Responses rejected by frontend validation: used.len shorter than a
   /// ResponseHeader, a status int outside sim::Status, or a payload_len
   /// exceeding the posted response-buffer capacity.
-  std::uint64_t protocol_errors() const;
+  std::uint64_t protocol_errors() const { return protocol_errors_.value(); }
   std::uint64_t op_errors(Op op) const;
   std::uint64_t op_timeouts(Op op) const;
   std::uint64_t op_retries(Op op) const;
@@ -169,7 +173,7 @@ class FrontendDriver {
   std::size_t pending_requests() const;
   /// Completions reaped on the pipelined fast path (already delivered by a
   /// coalesced interrupt — no sleep, no per-chunk wakeup cost).
-  std::uint64_t fast_reaps() const;
+  std::uint64_t fast_reaps() const { return fast_reaps_.value(); }
 
  private:
   struct Pending {
@@ -187,12 +191,17 @@ class FrontendDriver {
     std::uint64_t resp_gpa = 0;
     std::uint64_t in_gpa = 0;        ///< 0 when in_len == 0
     std::vector<std::uint64_t> gpas; ///< owned bounce buffers (park order)
+    sim::TraceId trace = 0;          ///< request trace context (0 = off)
+    sim::Nanos submit_ts = 0;        ///< submit_once entry time
   };
   struct OpCounters {
-    std::uint64_t errors = 0;    ///< transact() attempts that failed
-    std::uint64_t timeouts = 0;  ///< ... of which hit the deadline
-    std::uint64_t retries = 0;   ///< retries issued for this op
+    explicit OpCounters(Op op);
+    sim::metrics::Counter errors;    ///< transact() attempts that failed
+    sim::metrics::Counter timeouts;  ///< ... of which hit the deadline
+    sim::metrics::Counter retries;   ///< retries issued for this op
   };
+  /// counters_ entry for `op`, created on first use. mu_ must be held.
+  OpCounters& op_counters_locked(Op op);
 
   /// submit() minus the failure accounting.
   sim::Expected<Token> submit_once(sim::Actor& actor,
@@ -257,14 +266,19 @@ class FrontendDriver {
   /// write land in re-kmalloc'd memory. Keyed by chain head.
   std::map<std::uint16_t, std::vector<std::uint64_t>> zombies_;
   std::map<Op, OpCounters> counters_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t interrupt_waits_ = 0;
-  std::uint64_t polled_waits_ = 0;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t protocol_errors_ = 0;
-  std::uint64_t fast_reaps_ = 0;
-  sim::Nanos poll_cpu_burn_ = 0;
+  sim::metrics::Counter requests_{"vphi.fe.requests"};
+  sim::metrics::Counter interrupt_waits_{"vphi.fe.interrupt_waits"};
+  sim::metrics::Counter polled_waits_{"vphi.fe.polled_waits"};
+  sim::metrics::Counter timeouts_{"vphi.fe.timeouts"};
+  sim::metrics::Counter retries_{"vphi.fe.retries"};
+  sim::metrics::Counter protocol_errors_{"vphi.fe.protocol_errors"};
+  sim::metrics::Counter fast_reaps_{"vphi.fe.fast_reaps"};
+  sim::metrics::Counter poll_cpu_burn_ns_{"vphi.fe.poll_cpu_burn_ns"};
+  /// Bounce-buffer sets parked by timed-out requests, not yet reclaimed.
+  sim::metrics::Gauge zombie_chains_{"vphi.fe.zombie_chains"};
+  /// submit-to-complete latency of every successful request.
+  sim::metrics::LatencyHistogram request_latency_{
+      "vphi.fe.request_latency_ns"};
 };
 
 }  // namespace vphi::core

@@ -7,6 +7,7 @@
 
 #include "mic/sysfs.hpp"
 #include "sim/actor.hpp"
+#include "sim/trace.hpp"
 
 namespace vphi::core {
 
@@ -21,6 +22,10 @@ GuestScifProvider::~GuestScifProvider() = default;
 
 sim::Expected<FrontendDriver::TransactResult> GuestScifProvider::call(
     const FrontendDriver::TransactArgs& args) {
+  // Umbrella span for the whole SCIF call; the ring-level request(s) issued
+  // by transact() parent to it (retries included), so a trace viewer groups
+  // the op with every wire crossing it caused.
+  sim::TraceOpScope op_scope(op_name(args.header.op));
   return frontend_->transact(sim::this_actor(), args);
 }
 
@@ -31,6 +36,13 @@ GuestScifProvider::PipelineResult GuestScifProvider::run_pipeline(
         make_args) {
   PipelineResult out;
   auto& actor = sim::this_actor();
+  // One umbrella span covers the entire chunk walk; every chunk request
+  // parents to it. make_args is a pure constructor, so peeking at chunk 0
+  // for the op name is side-effect free.
+  sim::TraceOpScope op_scope(
+      total_len > 0
+          ? op_name(make_args(0, std::min(total_len, chunk)).header.op)
+          : "pipeline");
   const std::size_t window =
       std::max<std::size_t>(1, frontend_->config().pipeline_window);
 
