@@ -23,6 +23,8 @@ struct SharingResult {
   double min_gbps = 0.0;
   double max_gbps = 0.0;
   double aggregate_gbps = 0.0;
+  double jain_gbps = 1.0;  // fairness of per-VM throughput
+  double jain_card = 1.0;  // fairness of per-VM card-core busy time
 };
 
 SharingResult measure(std::uint32_t num_vms, scif::Port base_port) {
@@ -89,6 +91,14 @@ SharingResult measure(std::uint32_t num_vms, scif::Port base_port) {
     result.aggregate_gbps = static_cast<double>(kChunk) * kRounds * num_vms /
                             static_cast<double>(last_end - first_start);
   }
+  // Fairness of the multiplexing: Jain's index over per-VM throughput and
+  // over the per-VM card-core busy time charged by the backends.
+  result.jain_gbps = sim::jain_index(gbps);
+  std::vector<double> busy;
+  for (const auto& [vm, ns] : bed.fabric().card_occupancy()) {
+    busy.push_back(static_cast<double>(ns));
+  }
+  if (!busy.empty()) result.jain_card = sim::jain_index(busy);
   return result;
 }
 
@@ -103,6 +113,7 @@ void run() {
   sim::Series per_min{"per_vm_min", {}, {}};
   sim::Series per_max{"per_vm_max", {}, {}};
   sim::Series aggregate{"aggregate", {}, {}};
+  sim::Series fairness{"jain_fairness", {}, {}};
 
   scif::Port base = 3'400;
   for (const std::uint32_t n : {1u, 2u, 4u, 8u}) {
@@ -111,12 +122,16 @@ void run() {
     per_min.add(n, r.min_gbps);
     per_max.add(n, r.max_gbps);
     aggregate.add(n, r.aggregate_gbps);
+    fairness.add(n, r.jain_gbps);
     json.add("rma_read_aggregate_vms" + std::to_string(n), 8ull << 20, 0.0,
              r.aggregate_gbps);
+    json.add("fairness_jain_vms" + std::to_string(n), 0, 0.0, r.jain_gbps);
+    json.add("fairness_card_vms" + std::to_string(n), 0, 0.0, r.jain_card);
   }
   table.add_series(per_min);
   table.add_series(per_max);
   table.add_series(aggregate);
+  table.add_series(fairness);
   table.print(std::cout);
   std::printf(
       "\n(8 MiB reads: one VM alone sees ~3.8 GB/s — the Fig. 5 vPHI curve\n"

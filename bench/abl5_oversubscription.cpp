@@ -6,9 +6,11 @@
 // This bench sweeps the dgemm thread count across and beyond the card's
 // 224 hardware threads and reports modeled execution time plus an
 // end-to-end micnativeloadex cross-check at two points.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "sim/stats.hpp"
@@ -20,6 +22,25 @@ namespace {
 
 constexpr std::size_t kN = 4'096;
 const std::uint32_t kThreads[] = {28, 56, 112, 224, 448, 896};
+
+/// Jain's fairness index over per-thread flops rates under the uOS
+/// round-robin placement: n % cores cores carry one extra thread, and a
+/// thread's share is its core's rate divided by the residents. Exactly 1.0
+/// whenever the placement is even; dips below 1.0 at uneven thread counts.
+double placement_jain(const mic::uos::Scheduler& sched, std::uint32_t n) {
+  const std::uint32_t cores = std::min(n, sched.usable_cores());
+  const std::uint32_t lo = n / cores;
+  const std::uint32_t extra = n % cores;
+  std::vector<double> per_thread;
+  per_thread.reserve(n);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    const std::uint32_t resident = lo + (c < extra ? 1 : 0);
+    if (resident == 0) continue;
+    const double share = sched.core_flops_rate(resident) / resident;
+    for (std::uint32_t t = 0; t < resident; ++t) per_thread.push_back(share);
+  }
+  return sim::jain_index(per_thread);
+}
 
 void run() {
   print_header(
@@ -35,16 +56,26 @@ void run() {
   sim::FigureTable table{"A5 dgemm n=4096 on-card time vs threads", "threads"};
   sim::Series exec_s{"modeled_exec_s", {}, {}};
   sim::Series rate{"aggregate_GFLOPs", {}, {}};
+  sim::Series fairness{"jain_fairness", {}, {}};
 
   for (const std::uint32_t t : kThreads) {
     const double secs = sim::to_seconds(workloads::mic_dgemm_time(sched, kN, t));
+    const double jain = placement_jain(sched, t);
     exec_s.add(t, secs);
     rate.add(t, sched.aggregate_flops_rate(t) / 1e9);
+    fairness.add(t, jain);
     json.add("dgemm_t" + std::to_string(t), 2 * kN * kN * 8, secs * 1e9, 0.0);
+    json.add("fairness_jain_t" + std::to_string(t), 0, 0.0, jain);
   }
   table.add_series(exec_s);
   table.add_series(rate);
+  table.add_series(fairness);
   table.print(std::cout);
+
+  // The sweep's thread counts all divide evenly over 56 cores, so the index
+  // is 1.0 throughout; show one uneven placement for contrast.
+  std::printf("\nuneven placement check: jain(300 threads) = %.4f\n",
+              placement_jain(sched, 300));
 
   // End-to-end cross-check at full subscription and 2x oversubscription.
   const auto image = workloads::make_dgemm_image(bed.model());

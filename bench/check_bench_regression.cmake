@@ -1,0 +1,117 @@
+# bench_regression ctest body. Re-runs the pipelining-sensitive benches in
+# --smoke mode and compares every throughput row against the committed
+# baseline snapshots in bench/baselines/: a row more than 10% below its
+# baseline gbps fails the test. Latency-style rows (gbps 0) are skipped —
+# the baselines bound throughput, the bench_smoke invariants bound ordering.
+#
+# Concurrent smoke runs jitter by well under 10% run-to-run (the simulated
+# clock is the measurement clock; only cross-thread arbitration order
+# varies), so the threshold separates real regressions from scheduling
+# noise. Refresh a baseline by copying the freshly written BENCH_*.json over
+# bench/baselines/ after an intentional perf change.
+#
+# Invoked as:
+#   cmake -DFIG5=<fig5 binary> -DABL6=<abl6 binary>
+#         -DBASELINE_DIR=<bench/baselines> -P check_bench_regression.cmake
+# with the working directory set to where the fresh JSON files should land.
+
+foreach(_var FIG5 ABL6 BASELINE_DIR)
+  if(NOT DEFINED ${_var})
+    message(FATAL_ERROR "bench_regression: -D${_var}=<path> is required")
+  endif()
+endforeach()
+
+foreach(_bin ${FIG5} ${ABL6})
+  execute_process(COMMAND ${_bin} --smoke RESULT_VARIABLE _rc
+                  OUTPUT_VARIABLE _out ERROR_VARIABLE _err)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_regression: ${_bin} --smoke exited ${_rc}\n${_out}\n${_err}")
+  endif()
+endforeach()
+
+# CMake's math() is integer-only; scale decimal gbps strings to milli-units.
+function(to_milli value out_var)
+  if(NOT value MATCHES "^([0-9]+)(\\.([0-9]*))?$")
+    message(FATAL_ERROR
+            "bench_regression: cannot parse gbps value '${value}' "
+            "(scientific notation is not expected for throughput rows)")
+  endif()
+  set(_int "${CMAKE_MATCH_1}")
+  set(_frac "${CMAKE_MATCH_3}000")
+  string(SUBSTRING "${_frac}" 0 3 _frac)
+  math(EXPR _milli "${_int} * 1000 + ${_frac}")
+  set(${out_var} ${_milli} PARENT_SCOPE)
+endfunction()
+
+# Find the gbps of the row matching op+size, or NOTFOUND.
+function(row_gbps json op size out_var)
+  set(${out_var} "NOTFOUND" PARENT_SCOPE)
+  string(JSON _nrows LENGTH "${json}" rows)
+  if(_nrows EQUAL 0)
+    return()
+  endif()
+  math(EXPR _last "${_nrows} - 1")
+  foreach(_i RANGE ${_last})
+    string(JSON _op GET "${json}" rows ${_i} op)
+    string(JSON _size GET "${json}" rows ${_i} size)
+    if(_op STREQUAL ${op} AND _size EQUAL ${size})
+      string(JSON _gbps GET "${json}" rows ${_i} gbps)
+      set(${out_var} ${_gbps} PARENT_SCOPE)
+      return()
+    endif()
+  endforeach()
+endfunction()
+
+set(_checked 0)
+set(_failures "")
+file(GLOB _baselines "${BASELINE_DIR}/BENCH_*.json")
+if(NOT _baselines)
+  message(FATAL_ERROR "bench_regression: no baselines in ${BASELINE_DIR}")
+endif()
+
+foreach(_baseline ${_baselines})
+  get_filename_component(_name ${_baseline} NAME)
+  if(NOT EXISTS ${CMAKE_CURRENT_BINARY_DIR}/${_name})
+    message(FATAL_ERROR
+            "bench_regression: baseline ${_name} exists but the smoke run "
+            "did not write a fresh ${_name}")
+  endif()
+  file(READ ${_baseline} _base_json)
+  file(READ ${CMAKE_CURRENT_BINARY_DIR}/${_name} _cur_json)
+
+  string(JSON _nrows LENGTH "${_base_json}" rows)
+  math(EXPR _last "${_nrows} - 1")
+  foreach(_i RANGE ${_last})
+    string(JSON _op GET "${_base_json}" rows ${_i} op)
+    string(JSON _size GET "${_base_json}" rows ${_i} size)
+    string(JSON _base_gbps GET "${_base_json}" rows ${_i} gbps)
+    if(_base_gbps EQUAL 0)
+      continue()  # latency-style row: no throughput to bound
+    endif()
+    row_gbps("${_cur_json}" ${_op} ${_size} _cur_gbps)
+    if(_cur_gbps STREQUAL "NOTFOUND")
+      list(APPEND _failures "${_name}: row op=${_op} size=${_size} vanished")
+      continue()
+    endif()
+    to_milli(${_base_gbps} _base_milli)
+    to_milli(${_cur_gbps} _cur_milli)
+    # Fail when cur < 0.9 * baseline, in integer milli-gbps.
+    math(EXPR _lhs "${_cur_milli} * 10")
+    math(EXPR _rhs "${_base_milli} * 9")
+    if(_lhs LESS _rhs)
+      list(APPEND _failures
+           "${_name}: op=${_op} size=${_size} regressed to ${_cur_gbps} "
+           "GB/s (baseline ${_base_gbps} GB/s, floor is 90%)")
+    endif()
+    math(EXPR _checked "${_checked} + 1")
+  endforeach()
+endforeach()
+
+if(_failures)
+  string(REPLACE ";" "\n  " _failures "${_failures}")
+  message(FATAL_ERROR "bench_regression FAILED:\n  ${_failures}")
+endif()
+message(STATUS
+        "bench_regression OK: ${_checked} throughput rows within 10% of "
+        "baseline")

@@ -10,12 +10,14 @@ Vm::Vm(const VmConfig& config, const sim::CostModel& model)
       vq_(config.ring_size,
           [this](std::uint64_t gpa, std::uint32_t len) {
             return ram_.translate(gpa, len);
-          }),
+          },
+          "vm=" + config.name),
       status_(virtio::VIRTIO_F_VERSION_1 | virtio::VIRTIO_F_EVENT_IDX |
               virtio::VPHI_F_SCIF | virtio::VPHI_F_MMAP_PFN |
               virtio::VPHI_F_SYSFS_INFO),
       qemu_(config.name),
-      mmu_(kernel_.vmas(), model) {}
+      mmu_(kernel_.vmas(), model),
+      irq_count_("vphi.hv.irqs_injected", "vm=" + config.name) {}
 
 Vm::~Vm() { shutdown(); }
 

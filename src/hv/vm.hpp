@@ -83,7 +83,7 @@ class Vm {
   kvm::Mmu mmu_;
   IrqHandler irq_handler_;
   std::mutex irq_mu_;
-  sim::metrics::Counter irq_count_{"vphi.hv.irqs_injected"};
+  sim::metrics::Counter irq_count_;
 };
 
 }  // namespace vphi::hv

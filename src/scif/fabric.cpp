@@ -35,6 +35,29 @@ Node* Fabric::node(NodeId id) noexcept {
   return nodes_[id].get();
 }
 
+void Fabric::charge_card_occupancy(const std::string& tenant,
+                                   sim::Nanos busy_ns) {
+  if (busy_ns <= 0) return;
+  std::lock_guard lock(occupancy_mu_);
+  auto it = card_busy_by_tenant_.find(tenant);
+  if (it == card_busy_by_tenant_.end()) {
+    it = card_busy_by_tenant_
+             .emplace(tenant, std::make_unique<sim::metrics::Counter>(
+                                  "vphi.card.busy_ns", "vm=" + tenant))
+             .first;
+  }
+  it->second->inc(static_cast<std::uint64_t>(busy_ns));
+}
+
+std::map<std::string, std::uint64_t> Fabric::card_occupancy() const {
+  std::lock_guard lock(occupancy_mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [tenant, counter] : card_busy_by_tenant_) {
+    out[tenant] = counter->value();
+  }
+  return out;
+}
+
 pcie::Link* Fabric::link_between(NodeId a, NodeId b) noexcept {
   if (a == kHostNode && b == kHostNode) return nullptr;
   // Use the non-host node's link; for card<->card pick the initiator's.

@@ -4,13 +4,16 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "scif/node.hpp"
 #include "scif/types.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::mic {
@@ -73,10 +76,23 @@ class Fabric {
   const sim::CostModel& model() const noexcept { return *model_; }
   PollHub& poll_hub() noexcept { return poll_hub_; }
 
+  /// Per-tenant card-core occupancy accounting. Each backend charges the
+  /// simulated time its host process spent servicing SCIF calls for one
+  /// tenant (a VM, or a native host process) — which is exactly how the
+  /// shared card's time divides across the VMs multiplexed onto it.
+  /// Registered as "vphi.card.busy_ns" labeled "vm=<tenant>".
+  void charge_card_occupancy(const std::string& tenant, sim::Nanos busy_ns);
+  /// tenant -> accumulated busy ns, for fairness computations.
+  std::map<std::string, std::uint64_t> card_occupancy() const;
+
  private:
   const sim::CostModel* model_;
   std::vector<std::unique_ptr<Node>> nodes_;
   PollHub poll_hub_;
+
+  mutable std::mutex occupancy_mu_;
+  std::map<std::string, std::unique_ptr<sim::metrics::Counter>>
+      card_busy_by_tenant_;
 };
 
 }  // namespace vphi::scif

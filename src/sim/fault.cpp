@@ -3,6 +3,7 @@
 #include <string>
 
 #include "sim/log.hpp"
+#include "sim/recorder.hpp"
 
 namespace vphi::sim {
 
@@ -100,19 +101,30 @@ bool FaultInjector::decide_locked(Site& s) noexcept {
   return fire;
 }
 
-bool FaultInjector::should_fire(FaultSite site) noexcept {
+bool FaultInjector::should_fire(FaultSite site, TraceId focus) noexcept {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard lock(mu_);
-  Site& s = sites_[static_cast<int>(site)];
-  ++s.hits_total;
-  hit_counters_[static_cast<int>(site)]->inc();
-  if (s.armed) ++s.hits_since_arm;
-  const bool fire = decide_locked(s);
+  bool fire;
+  {
+    std::lock_guard lock(mu_);
+    Site& s = sites_[static_cast<int>(site)];
+    ++s.hits_total;
+    hit_counters_[static_cast<int>(site)]->inc();
+    if (s.armed) ++s.hits_since_arm;
+    fire = decide_locked(s);
+    if (fire) {
+      fire_counters_[static_cast<int>(site)]->inc();
+      VPHI_LOG(kWarn, "fault") << "injecting " << fault_site_name(site)
+                               << " (hit " << s.hits_since_arm << ", fire "
+                               << s.fires << ")";
+    }
+  }
   if (fire) {
-    fire_counters_[static_cast<int>(site)]->inc();
-    VPHI_LOG(kWarn, "fault") << "injecting " << fault_site_name(site)
-                             << " (hit " << s.hits_since_arm << ", fire "
-                             << s.fires << ")";
+    // Every injected fault becomes a diagnosable incident: dump the flight
+    // recorder's window (outside mu_ — the dump reads the tracer). When the
+    // call site passed the faulted request's trace id, the dump leads with
+    // that request's full span chain.
+    flight_recorder().dump(
+        std::string("injected fault: ") + fault_site_name(site), focus);
   }
   return fire;
 }

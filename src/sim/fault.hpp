@@ -30,6 +30,7 @@
 
 #include "sim/metrics.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace vphi::sim {
 
@@ -77,7 +78,10 @@ class FaultInjector {
 
   /// Consult at the fault point: records the hit and decides whether the
   /// fault fires now. Cheap (one relaxed load) when nothing is armed.
-  bool should_fire(FaultSite site) noexcept;
+  /// Every fire triggers a flight-recorder dump; call sites that know the
+  /// request riding the faulted path pass its trace id as `focus` so the
+  /// dump leads with that request's span chain.
+  bool should_fire(FaultSite site, TraceId focus = 0) noexcept;
 
   /// The configured injection delay for `site` (kKickDelay and friends).
   Nanos delay_ns(FaultSite site) const noexcept;

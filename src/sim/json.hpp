@@ -1,0 +1,24 @@
+// Shared JSON string escaping for every sim-layer emitter.
+//
+// Both the tracer's Chrome-trace export and the metrics registry's
+// snapshot_json() interpolate caller-supplied names into JSON string
+// literals. Instrument names are normally tame ("vphi.fe.requests"), but
+// nothing enforces that — op names flow in from protocol tables and tests
+// deliberately register hostile names — so every emitter must escape
+// through this one helper instead of concatenating raw bytes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace vphi::sim {
+
+/// Append `s` to `out` escaped for use inside a JSON string literal:
+/// quote, backslash and every control character below 0x20 (RFC 8259
+/// sec. 7) — the common ones as their short forms, the rest as \u00XX.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Convenience: the escaped copy.
+std::string json_escaped(std::string_view s);
+
+}  // namespace vphi::sim

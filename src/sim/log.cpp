@@ -7,6 +7,9 @@
 #include <mutex>
 #include <string>
 
+#include "sim/actor.hpp"
+#include "sim/recorder.hpp"
+
 namespace vphi::sim {
 
 namespace {
@@ -48,6 +51,10 @@ void set_log_level(LogLevel level) noexcept {
 
 void log_line(LogLevel level, std::string_view component, std::string_view msg) {
   if (static_cast<int>(log_level()) < static_cast<int>(level)) return;
+  // Every emitted line also lands in the flight recorder, stamped with the
+  // calling actor's simulated clock, so a recorder dump interleaves log
+  // lines with span events on one simulated-time axis.
+  flight_recorder().record_log(level, component, msg, this_actor().now());
   std::lock_guard lock(g_io_mu);
   std::fprintf(stderr, "[%s %.*s] %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),

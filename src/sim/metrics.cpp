@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "sim/json.hpp"
+
 namespace vphi::sim::metrics {
 namespace {
 
@@ -20,19 +22,46 @@ void erase_ptr(std::vector<T*>& v, T* p) {
   v.erase(std::remove(v.begin(), v.end(), p), v.end());
 }
 
+/// "name{label}" — the labeled-breakdown key used in snapshot JSON.
+void append_labeled_key(std::string& out, const std::string& name,
+                        const std::string& label) {
+  out += '"';
+  append_json_escaped(out, name);
+  out += '{';
+  append_json_escaped(out, label);
+  out += "}\":";
+}
+
+void append_histogram_json(std::string& out, const Histogram& h) {
+  out += "{\"count\":";
+  out += std::to_string(h.count());
+  out += ",\"mean\":";
+  append_double(out, h.mean());
+  out += ",\"p50\":";
+  append_double(out, h.percentile(0.5));
+  out += ",\"p99\":";
+  append_double(out, h.percentile(0.99));
+  out += ",\"max\":";
+  append_double(out, h.max());
+  out += '}';
+}
+
 }  // namespace
 
-Counter::Counter(std::string name) : name_(std::move(name)) {
+Counter::Counter(std::string name, std::string label)
+    : name_(std::move(name)), label_(std::move(label)) {
   registry().add(this);
 }
 Counter::~Counter() { registry().remove(this); }
 
-Gauge::Gauge(std::string name) : name_(std::move(name)) {
+Gauge::Gauge(std::string name, std::string label)
+    : name_(std::move(name)), label_(std::move(label)) {
   registry().add(this);
 }
 Gauge::~Gauge() { registry().remove(this); }
 
-LatencyHistogram::LatencyHistogram(std::string name) : name_(std::move(name)) {
+LatencyHistogram::LatencyHistogram(std::string name, std::string label)
+    : name_(std::move(name)), label_(std::move(label)) {
   registry().add(this);
 }
 LatencyHistogram::~LatencyHistogram() { registry().remove(this); }
@@ -56,6 +85,9 @@ void Registry::remove(Counter* c) {
   std::lock_guard<std::mutex> lock(mu_);
   erase_ptr(counters_, c);
   retired_counters_[c->name()] += c->value();
+  if (!c->label().empty()) {
+    retired_labeled_counters_[c->name()][c->label()] += c->value();
+  }
 }
 
 void Registry::add(Gauge* g) {
@@ -67,6 +99,9 @@ void Registry::remove(Gauge* g) {
   std::lock_guard<std::mutex> lock(mu_);
   erase_ptr(gauges_, g);
   retired_gauges_[g->name()] += g->value();
+  if (!g->label().empty()) {
+    retired_labeled_gauges_[g->name()][g->label()] += g->value();
+  }
 }
 
 void Registry::add(LatencyHistogram* h) {
@@ -78,6 +113,9 @@ void Registry::remove(LatencyHistogram* h) {
   std::lock_guard<std::mutex> lock(mu_);
   erase_ptr(histograms_, h);
   retired_histograms_[h->name()].merge(h->snapshot());
+  if (!h->label().empty()) {
+    retired_labeled_histograms_[h->name()][h->label()].merge(h->snapshot());
+  }
 }
 
 void Registry::reset() {
@@ -85,6 +123,9 @@ void Registry::reset() {
   retired_counters_.clear();
   retired_gauges_.clear();
   retired_histograms_.clear();
+  retired_labeled_counters_.clear();
+  retired_labeled_gauges_.clear();
+  retired_labeled_histograms_.clear();
   for (Counter* c : counters_) c->reset();
   for (Gauge* g : gauges_) g->set(0);
 }
@@ -93,14 +134,31 @@ std::string Registry::snapshot_json() const {
   std::lock_guard<std::mutex> lock(mu_);
 
   std::map<std::string, std::uint64_t> counters = retired_counters_;
-  for (const Counter* c : counters_) counters[c->name()] += c->value();
+  auto labeled_counters = retired_labeled_counters_;
+  for (const Counter* c : counters_) {
+    counters[c->name()] += c->value();
+    if (!c->label().empty()) {
+      labeled_counters[c->name()][c->label()] += c->value();
+    }
+  }
 
   std::map<std::string, std::int64_t> gauges = retired_gauges_;
-  for (const Gauge* g : gauges_) gauges[g->name()] += g->value();
+  auto labeled_gauges = retired_labeled_gauges_;
+  for (const Gauge* g : gauges_) {
+    gauges[g->name()] += g->value();
+    if (!g->label().empty()) {
+      labeled_gauges[g->name()][g->label()] += g->value();
+    }
+  }
 
   std::map<std::string, Histogram> hists = retired_histograms_;
-  for (const LatencyHistogram* h : histograms_)
+  auto labeled_hists = retired_labeled_histograms_;
+  for (const LatencyHistogram* h : histograms_) {
     hists[h->name()].merge(h->snapshot());
+    if (!h->label().empty()) {
+      labeled_hists[h->name()][h->label()].merge(h->snapshot());
+    }
+  }
 
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -108,7 +166,7 @@ std::string Registry::snapshot_json() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;
+    append_json_escaped(out, name);
     out += "\":";
     out += std::to_string(v);
   }
@@ -118,7 +176,7 @@ std::string Registry::snapshot_json() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;
+    append_json_escaped(out, name);
     out += "\":";
     out += std::to_string(v);
   }
@@ -128,18 +186,39 @@ std::string Registry::snapshot_json() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;
-    out += "\":{\"count\":";
-    out += std::to_string(h.count());
-    out += ",\"mean\":";
-    append_double(out, h.mean());
-    out += ",\"p50\":";
-    append_double(out, h.percentile(0.5));
-    out += ",\"p99\":";
-    append_double(out, h.percentile(0.99));
-    out += ",\"max\":";
-    append_double(out, h.max());
-    out += '}';
+    append_json_escaped(out, name);
+    out += "\":";
+    append_histogram_json(out, h);
+  }
+  out += "},\"labeled_counters\":{";
+  first = true;
+  for (const auto& [name, by_label] : labeled_counters) {
+    for (const auto& [label, v] : by_label) {
+      if (!first) out += ',';
+      first = false;
+      append_labeled_key(out, name, label);
+      out += std::to_string(v);
+    }
+  }
+  out += "},\"labeled_gauges\":{";
+  first = true;
+  for (const auto& [name, by_label] : labeled_gauges) {
+    for (const auto& [label, v] : by_label) {
+      if (!first) out += ',';
+      first = false;
+      append_labeled_key(out, name, label);
+      out += std::to_string(v);
+    }
+  }
+  out += "},\"labeled_histograms\":{";
+  first = true;
+  for (const auto& [name, by_label] : labeled_hists) {
+    for (const auto& [label, h] : by_label) {
+      if (!first) out += ',';
+      first = false;
+      append_labeled_key(out, name, label);
+      append_histogram_json(out, h);
+    }
   }
   out += "}}";
   return out;
@@ -155,6 +234,79 @@ std::uint64_t Registry::counter_value(const std::string& name) const {
     if (c->name() == name) total += c->value();
   }
   return total;
+}
+
+std::uint64_t Registry::labeled_counter_value(const std::string& name,
+                                              const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  if (auto it = retired_labeled_counters_.find(name);
+      it != retired_labeled_counters_.end()) {
+    if (auto jt = it->second.find(label); jt != it->second.end()) {
+      total += jt->second;
+    }
+  }
+  for (const Counter* c : counters_) {
+    if (c->name() == name && c->label() == label) total += c->value();
+  }
+  return total;
+}
+
+std::map<std::string, std::uint64_t> Registry::counter_by_label(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  if (auto it = retired_labeled_counters_.find(name);
+      it != retired_labeled_counters_.end()) {
+    out = it->second;
+  }
+  for (const Counter* c : counters_) {
+    if (c->name() == name && !c->label().empty()) out[c->label()] += c->value();
+  }
+  return out;
+}
+
+std::map<std::string, std::int64_t> Registry::gauge_by_label(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  if (auto it = retired_labeled_gauges_.find(name);
+      it != retired_labeled_gauges_.end()) {
+    out = it->second;
+  }
+  for (const Gauge* g : gauges_) {
+    if (g->name() == name && !g->label().empty()) out[g->label()] += g->value();
+  }
+  return out;
+}
+
+std::map<std::string, Histogram> Registry::histogram_by_label(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram> out;
+  if (auto it = retired_labeled_histograms_.find(name);
+      it != retired_labeled_histograms_.end()) {
+    out = it->second;
+  }
+  for (const LatencyHistogram* h : histograms_) {
+    if (h->name() == name && !h->label().empty()) {
+      out[h->label()].merge(h->snapshot());
+    }
+  }
+  return out;
+}
+
+Histogram Registry::histogram_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram out;
+  if (auto it = retired_histograms_.find(name);
+      it != retired_histograms_.end()) {
+    out.merge(it->second);
+  }
+  for (const LatencyHistogram* h : histograms_) {
+    if (h->name() == name) out.merge(h->snapshot());
+  }
+  return out;
 }
 
 std::vector<std::string> Registry::metric_names() const {

@@ -10,6 +10,14 @@
 // per VM, say) are summed in the snapshot, while each instance's own
 // accessor keeps its exact per-instance semantics.
 //
+// Labels add a tenant dimension on top of that: an instrument constructed
+// with a label ("vm=vm0") still contributes to the aggregate under its
+// base name — so existing names, sums and tests are untouched — and
+// *additionally* shows up in the labeled breakdown maps. Because the
+// labeled and aggregate views read the very same atomics, a per-label sum
+// over one name always equals the aggregate exactly; there is no second
+// accounting path to drift.
+//
 // The full catalogue of registered names, their units and their owning
 // component lives in docs/OBSERVABILITY.md; treat those names as a stable
 // interface (benchmark JSON embeds them).
@@ -34,7 +42,7 @@ namespace vphi::sim::metrics {
 /// problem at ~10^19 events).
 class Counter {
  public:
-  explicit Counter(std::string name);
+  explicit Counter(std::string name, std::string label = {});
   ~Counter();
 
   Counter(const Counter&) = delete;
@@ -50,16 +58,19 @@ class Counter {
   void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
 
   const std::string& name() const noexcept { return name_; }
+  /// Tenant dimension ("vm=vm0"); empty = aggregate-only instrument.
+  const std::string& label() const noexcept { return label_; }
 
  private:
   std::string name_;
+  std::string label_;
   std::atomic<std::uint64_t> v_{0};
 };
 
 /// Signed point-in-time value (queue depths, parked buffers).
 class Gauge {
  public:
-  explicit Gauge(std::string name);
+  explicit Gauge(std::string name, std::string label = {});
   ~Gauge();
 
   Gauge(const Gauge&) = delete;
@@ -72,9 +83,11 @@ class Gauge {
   }
 
   const std::string& name() const noexcept { return name_; }
+  const std::string& label() const noexcept { return label_; }
 
  private:
   std::string name_;
+  std::string label_;
   std::atomic<std::int64_t> v_{0};
 };
 
@@ -83,7 +96,7 @@ class Gauge {
 /// the workload).
 class LatencyHistogram {
  public:
-  explicit LatencyHistogram(std::string name);
+  explicit LatencyHistogram(std::string name, std::string label = {});
   ~LatencyHistogram();
 
   LatencyHistogram(const LatencyHistogram&) = delete;
@@ -94,9 +107,11 @@ class LatencyHistogram {
   Histogram snapshot() const;
 
   const std::string& name() const noexcept { return name_; }
+  const std::string& label() const noexcept { return label_; }
 
  private:
   std::string name_;
+  std::string label_;
   mutable std::mutex mu_;
   Histogram h_;
 };
@@ -112,9 +127,12 @@ class Registry {
   void remove(LatencyHistogram* h);
 
   /// Deterministic JSON snapshot: one object with "counters", "gauges" and
-  /// "histograms" maps, keys sorted, same-named live instruments summed
-  /// (histograms merged by their summary stats). Values reflect the instant
-  /// of the call.
+  /// "histograms" maps (aggregates over every instance, labeled or not,
+  /// keys sorted, same-named live instruments summed / histograms merged),
+  /// plus "labeled_counters" / "labeled_gauges" / "labeled_histograms"
+  /// maps keyed "name{label}" holding the per-tenant breakdown of labeled
+  /// instruments. Values reflect the instant of the call. All keys are
+  /// JSON-escaped.
   std::string snapshot_json() const;
 
   /// Sorted, de-duplicated names of every instrument ever seen (live or
@@ -122,8 +140,29 @@ class Registry {
   std::vector<std::string> metric_names() const;
 
   /// Current total for a counter name: live instruments summed plus the
-  /// retired aggregate. 0 for unknown names.
+  /// retired aggregate, labeled instances included. 0 for unknown names.
   std::uint64_t counter_value(const std::string& name) const;
+
+  /// One labeled slice of a counter name (live + retired). 0 when the
+  /// (name, label) pair was never registered.
+  std::uint64_t labeled_counter_value(const std::string& name,
+                                      const std::string& label) const;
+
+  /// Per-label breakdown of a counter name: label -> total (live +
+  /// retired). Only labeled instruments contribute; summing the values
+  /// gives the counter_value() aggregate when every instance is labeled.
+  std::map<std::string, std::uint64_t> counter_by_label(
+      const std::string& name) const;
+  /// Same for gauges.
+  std::map<std::string, std::int64_t> gauge_by_label(
+      const std::string& name) const;
+  /// Same for latency histograms (merged per label).
+  std::map<std::string, Histogram> histogram_by_label(
+      const std::string& name) const;
+
+  /// Merged distribution for a histogram name across every instance (live
+  /// + retired, labeled or not).
+  Histogram histogram_value(const std::string& name) const;
 
   /// Live instruments only.
   std::size_t instrument_count() const;
@@ -141,10 +180,17 @@ class Registry {
   std::vector<LatencyHistogram*> histograms_;
   // Final values of destroyed instruments, folded in by name so snapshots
   // taken after a Testbed tears down (bench JSON writers, the VPHI_METRICS
-  // exit dump) still cover the whole run.
+  // exit dump) still cover the whole run. Labeled instruments fold into
+  // both the aggregate map and the name -> label -> value breakdown.
   std::map<std::string, std::uint64_t> retired_counters_;
   std::map<std::string, std::int64_t> retired_gauges_;
   std::map<std::string, Histogram> retired_histograms_;
+  std::map<std::string, std::map<std::string, std::uint64_t>>
+      retired_labeled_counters_;
+  std::map<std::string, std::map<std::string, std::int64_t>>
+      retired_labeled_gauges_;
+  std::map<std::string, std::map<std::string, Histogram>>
+      retired_labeled_histograms_;
 };
 
 Registry& registry();

@@ -1,0 +1,139 @@
+// Always-on flight recorder: the last window of observability events,
+// retained for the moment something goes wrong.
+//
+// A fixed-size ring buffer of recent trace span events and log lines, each
+// stamped with the simulated timestamp and the recording actor's name.
+// Steady state allocates nothing: entries are preallocated fixed-width
+// slots, recording is a memcpy under a mutex, and the ring silently
+// overwrites its oldest entry when full. The recorder is a pure observer —
+// it never touches any actor's clock — so leaving it on does not move a
+// single simulated number.
+//
+// When a failure fires (a frontend timeout, a backend validation error, an
+// injected fault, a watchdog stall), the owning component calls dump():
+// the window is snapshotted and rendered as an annotated text dump
+// (interleaving span events and log lines on one simulated-time axis) plus
+// a Perfetto/Chrome trace-event JSON of the same window. When the dump has
+// a focus request, its complete span chain is pulled from the tracer and
+// printed first — the ring may have wrapped past the request's early
+// events, the tracer has not.
+//
+// Span events only exist while sim::Tracer is enabled (an untraced request
+// has id 0 and records nothing); log lines only exist at or above the
+// VPHI_LOG level. The recorder interleaves whatever the two funnels emit.
+//
+// Env knob: VPHI_FLIGHT=0 disables the recorder entirely; =<path> writes
+// each dump to <path>.<n>.txt / <path>.<n>.json in addition to stderr;
+// unset or =1 keeps the default (record always, dump text to stderr, first
+// kMaxStderrDumps dumps only). The last dump is always retrievable
+// in-process via last_dump() regardless of the stderr cap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "sim/metrics.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace vphi::sim {
+
+/// One emitted dump: the annotated text and the Perfetto JSON of the
+/// window at trigger time.
+struct FlightDump {
+  std::uint64_t seq = 0;  ///< 1-based dump sequence number
+  std::string reason;
+  TraceId focus = 0;
+  std::string text;
+  std::string perfetto_json;
+};
+
+class FlightRecorder {
+ public:
+  /// Entries retained in the window. Power of two, sized so a multi-VM
+  /// pipelined burst's full recent history fits.
+  static constexpr std::size_t kCapacity = 2048;
+  /// Dumps written to stderr before going quiet (a probabilistic fault
+  /// sweep would otherwise bury the test log); counting and last_dump()
+  /// continue past the cap.
+  static constexpr std::uint64_t kMaxStderrDumps = 4;
+
+  FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Drop every buffered entry (tests; ids/dump counts are untouched).
+  void clear();
+
+  /// Feed one span event (called from inside sim::Tracer's funnels).
+  void record_span(TraceId id, TraceId parent, const char* op, SpanEvent ev,
+                   Nanos ts);
+  /// Feed one emitted log line (called from sim::log_line).
+  void record_log(LogLevel level, std::string_view component,
+                  std::string_view msg, Nanos ts);
+
+  /// Trigger: snapshot the window, render the annotated text + Perfetto
+  /// JSON, bump vphi.recorder.dumps, emit per the VPHI_FLIGHT policy and
+  /// return the dump. Never advances any actor's clock.
+  FlightDump dump(std::string_view reason, TraceId focus = 0);
+
+  std::uint64_t dump_count() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  /// Copy of the most recent dump (empty FlightDump when none happened).
+  FlightDump last_dump() const;
+  /// Entries currently buffered (bounded by kCapacity).
+  std::size_t entry_count() const;
+
+ private:
+  struct Entry {
+    enum class Kind : std::uint8_t { kSpan, kLog };
+    Kind kind = Kind::kSpan;
+    SpanEvent event = SpanEvent::kSubmit;
+    LogLevel level = LogLevel::kOff;
+    Nanos ts = 0;
+    TraceId trace = 0;
+    TraceId parent = 0;
+    char actor[24] = {};
+    char component[16] = {};
+    char text[96] = {};  ///< op name (span) or message (log), truncated
+  };
+
+  void append_locked(const Entry& e);
+  std::string render_text(const std::vector<Entry>& window,
+                          std::string_view reason, TraceId focus,
+                          std::uint64_t seq, std::uint64_t dropped) const;
+  std::string render_perfetto(const std::vector<Entry>& window,
+                              std::string_view reason, TraceId focus) const;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> dumps_{0};
+
+  mutable std::mutex mu_;
+  std::vector<Entry> ring_;  ///< preallocated to kCapacity, never resized
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;           ///< valid entries (<= kCapacity)
+  std::uint64_t overwritten_ = 0;   ///< entries lost to wraparound
+  FlightDump last_;
+
+  metrics::Counter dump_counter_{"vphi.recorder.dumps"};
+  metrics::Counter dropped_counter_{"vphi.recorder.entries_dropped"};
+};
+
+/// The process-global recorder both funnels (tracer, logger) feed.
+FlightRecorder& flight_recorder();
+
+}  // namespace vphi::sim

@@ -123,4 +123,19 @@ class FigureTable {
 /// Pretty-print a byte count ("4 KiB", "64 MiB", "1 B").
 std::string format_bytes(std::uint64_t bytes);
 
+/// Jain's fairness index over per-tenant allocations x_i:
+/// J = (sum x_i)^2 / (n * sum x_i^2). 1.0 = perfectly fair shares,
+/// 1/n = one tenant hogging everything. Degenerate inputs (empty, or all
+/// shares zero) report 1.0 — nothing was allocated unfairly.
+inline double jain_index(const std::vector<double>& xs) noexcept {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
 }  // namespace vphi::sim

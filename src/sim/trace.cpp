@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "sim/actor.hpp"
+#include "sim/json.hpp"
+#include "sim/recorder.hpp"
 
 namespace vphi::sim {
 namespace {
@@ -52,13 +54,6 @@ void sort_events(std::vector<TraceEv>& evs) {
                      return static_cast<int>(a.event) <
                             static_cast<int>(b.event);
                    });
-}
-
-void append_json_escaped(std::string& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
 }
 
 std::string g_trace_path;
@@ -110,14 +105,18 @@ TraceId Tracer::begin_op(const char* name, Nanos ts) {
   const TraceId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   ops_.push_back({id, 0, name, {{SpanEvent::kSubmit, ts}}});
+  flight_recorder().record_span(id, 0, name, SpanEvent::kSubmit, ts);
   return id;
 }
 
 void Tracer::end_op(TraceId id, Nanos ts) {
   if (id == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  if (RequestTrace* op = find_locked(ops_, id))
+  if (RequestTrace* op = find_locked(ops_, id)) {
     op->events.push_back({SpanEvent::kComplete, ts});
+    flight_recorder().record_span(id, 0, op->op.c_str(), SpanEvent::kComplete,
+                                  ts);
+  }
 }
 
 TraceId Tracer::begin_request(const char* op_name, Nanos ts) {
@@ -125,14 +124,18 @@ TraceId Tracer::begin_request(const char* op_name, Nanos ts) {
   const TraceId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   requests_.push_back({id, t_current_op, op_name, {{SpanEvent::kSubmit, ts}}});
+  flight_recorder().record_span(id, t_current_op, op_name, SpanEvent::kSubmit,
+                                ts);
   return id;
 }
 
 void Tracer::record(TraceId id, SpanEvent ev, Nanos ts) {
   if (id == 0) return;  // the disabled / untraced fast path
   std::lock_guard<std::mutex> lock(mu_);
-  if (RequestTrace* req = find_locked(requests_, id))
+  if (RequestTrace* req = find_locked(requests_, id)) {
     req->events.push_back({ev, ts});
+    flight_recorder().record_span(id, req->parent, req->op.c_str(), ev, ts);
+  }
   // A record against a cleared trace is silently dropped: clear() may race
   // with requests still in flight and that is fine.
 }

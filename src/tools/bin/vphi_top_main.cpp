@@ -1,0 +1,5 @@
+#include "tools/vphi_top.hpp"
+
+int main(int argc, char** argv) {
+  return vphi::tools::vphi_top_main(argc, argv);
+}

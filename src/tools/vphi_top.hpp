@@ -1,0 +1,32 @@
+// vphi-top: per-VM view of a shared Xeon Phi — the sharing half of vPHI,
+// made observable.
+//
+// Runs a seeded multi-VM message-push scenario (every VM streams scif_send
+// traffic at its own card-side sink through its own vPHI stack) and renders
+// a per-VM table from the labeled metric registry: requests, bytes through
+// the ring, p50/p99 request latency, mean ring occupancy, suppressed
+// doorbells, errors and card-core busy time — plus Jain's fairness index
+// over per-VM bytes and card occupancy.
+//
+// The tool is also its own consistency check: for every counter it prints,
+// the per-VM column values must sum to the aggregate registry counter
+// *exactly* (they read the same atomics), and it exits non-zero when they
+// do not.
+//
+// Flags:
+//   --vms N          number of VMs sharing the card (default 4)
+//   --rounds N       base messages per VM (default 64; the seed skews each
+//                    VM's count so fairness is a real measurement)
+//   --msg-bytes N    message size (default 64 KiB)
+//   --seed N         workload seed (default 42)
+//   --inject-stall   drop a doorbell after the run and verify the stall
+//                    watchdog fires exactly once (with a recorder dump)
+//   --smoke          CI-sized run (2 VMs, 40 rounds)
+#pragma once
+
+namespace vphi::tools {
+
+/// The vphi-top entry point (argv-style so tests can call it in-process).
+int vphi_top_main(int argc, char** argv);
+
+}  // namespace vphi::tools

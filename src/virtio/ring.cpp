@@ -20,8 +20,18 @@ bool vring_need_event(std::uint16_t event, std::uint16_t new_idx,
 }
 }  // namespace
 
-Virtqueue::Virtqueue(std::uint16_t size, MemTranslate translate)
-    : size_(size), translate_(std::move(translate)) {
+Virtqueue::Virtqueue(std::uint16_t size, MemTranslate translate,
+                     std::string label)
+    : size_(size),
+      translate_(std::move(translate)),
+      kick_count_("vphi.ring.kicks", label),
+      dropped_kicks_("vphi.ring.kicks_dropped", label),
+      poisoned_chains_("vphi.ring.chains_poisoned", label),
+      truncated_chains_("vphi.ring.chains_truncated", label),
+      inflight_gauge_("vphi.ring.inflight", label),
+      occupancy_hist_("vphi.ring.occupancy", label),
+      suppressed_kicks_("vphi.ring.kicks_suppressed", label),
+      suppressed_irqs_("vphi.ring.irqs_suppressed", label) {
   // Virtio mandates power-of-two queue sizes; a violation is a programming
   // error, not a recoverable condition.
   if (!is_pow2(size)) std::abort();
@@ -104,6 +114,11 @@ sim::Expected<std::uint16_t> Virtqueue::add_buf(std::span<const BufferRef> out,
   avail_publish_ts_[avail_idx_ % size_] = publish_ts;
   trace_by_head_[head] = trace;
   ++avail_idx_;
+  ++live_chains_;
+  inflight_gauge_.add(1);
+  // Occupancy sampled at every post: the distribution a tenant's pipelined
+  // window actually achieved (observer only, never charges the clock).
+  occupancy_hist_.record(static_cast<sim::Nanos>(live_chains_));
   sim::tracer().record(trace, sim::SpanEvent::kAvailPublish, publish_ts);
   return head;
 }
@@ -146,6 +161,10 @@ std::optional<UsedElem> Virtqueue::get_used() {
   UsedElem elem = used_ring_[used_consumed_ % size_];
   ++used_consumed_;
   free_chain_locked(static_cast<std::uint16_t>(elem.id));
+  if (live_chains_ > 0) {
+    --live_chains_;
+    inflight_gauge_.add(-1);
+  }
   return elem;
 }
 
@@ -326,6 +345,11 @@ std::uint16_t Virtqueue::avail_idx() const {
 std::uint16_t Virtqueue::used_idx() const {
   std::lock_guard lock(mu_);
   return used_idx_;
+}
+
+std::uint16_t Virtqueue::live_chains() const {
+  std::lock_guard lock(mu_);
+  return live_chains_;
 }
 
 }  // namespace vphi::virtio

@@ -86,8 +86,11 @@ struct Chain {
 
 class Virtqueue {
  public:
-  /// `size` must be a power of two (virtio requirement).
-  Virtqueue(std::uint16_t size, MemTranslate translate);
+  /// `size` must be a power of two (virtio requirement). `label` is the
+  /// owning tenant's metric label ("vm=vm0"); empty for raw ring users —
+  /// the ring's instruments then contribute to the aggregates only.
+  Virtqueue(std::uint16_t size, MemTranslate translate,
+            std::string label = {});
 
   std::uint16_t size() const noexcept { return size_; }
 
@@ -179,6 +182,8 @@ class Virtqueue {
   std::uint64_t poisoned_chains() const { return poisoned_chains_.value(); }
   /// Chains whose segment list lost its tail to fault injection.
   std::uint64_t truncated_chains() const { return truncated_chains_.value(); }
+  /// Chains currently between add_buf and get_used (ring occupancy).
+  std::uint16_t live_chains() const;
 
  private:
   sim::Expected<std::uint16_t> alloc_desc_locked();
@@ -202,10 +207,15 @@ class Virtqueue {
   std::uint16_t avail_consumed_ = 0; ///< device's consumer index
   std::uint16_t used_idx_ = 0;       ///< device's producer index
   std::uint16_t used_consumed_ = 0;  ///< driver's consumer index
-  sim::metrics::Counter kick_count_{"vphi.ring.kicks"};
-  sim::metrics::Counter dropped_kicks_{"vphi.ring.kicks_dropped"};
-  sim::metrics::Counter poisoned_chains_{"vphi.ring.chains_poisoned"};
-  sim::metrics::Counter truncated_chains_{"vphi.ring.chains_truncated"};
+  std::uint16_t live_chains_ = 0;    ///< chains between add_buf and get_used
+  sim::metrics::Counter kick_count_;
+  sim::metrics::Counter dropped_kicks_;
+  sim::metrics::Counter poisoned_chains_;
+  sim::metrics::Counter truncated_chains_;
+  /// Point-in-time ring occupancy (chains in flight) and its distribution
+  /// sampled at every add_buf.
+  sim::metrics::Gauge inflight_gauge_;
+  sim::metrics::LatencyHistogram occupancy_hist_;
 
   // --- EVENT_IDX state (virtio 1.0 sec 2.6.7) -------------------------------
   bool event_idx_ = false;
@@ -213,8 +223,8 @@ class Virtqueue {
   std::uint16_t kick_point_ = 0;      ///< driver: avail_idx_ at last prepare
   std::uint16_t used_event_shadow_ = 0;   ///< driver: "irq me past this idx"
   std::uint16_t used_signal_point_ = 0;   ///< device: used_idx_ at last irq
-  sim::metrics::Counter suppressed_kicks_{"vphi.ring.kicks_suppressed"};
-  sim::metrics::Counter suppressed_irqs_{"vphi.ring.irqs_suppressed"};
+  sim::metrics::Counter suppressed_kicks_;
+  sim::metrics::Counter suppressed_irqs_;
 
   sim::EventLine avail_event_;
 };

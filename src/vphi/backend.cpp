@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "mic/sysfs.hpp"
+#include "scif/fabric.hpp"
 #include "sim/actor.hpp"
 #include "sim/fault.hpp"
 #include "sim/log.hpp"
+#include "sim/recorder.hpp"
 #include "sim/trace.hpp"
 
 namespace vphi::core {
@@ -72,7 +74,13 @@ BackendDevice::BackendDevice(hv::Vm& vm, scif::Fabric& fabric,
       fabric_(&fabric),
       policy_(std::move(policy)),
       provider_(std::make_unique<scif::HostProvider>(fabric,
-                                                     scif::kHostNode)) {}
+                                                     scif::kHostNode)),
+      label_("vm=" + vm.name()),
+      worker_requests_("vphi.be.requests.worker", label_),
+      blocking_requests_("vphi.be.requests.blocking", label_),
+      malformed_chains_("vphi.be.malformed_chains", label_),
+      poisoned_chains_("vphi.be.poisoned_chains", label_),
+      validation_failures_("vphi.be.validation_failures", label_) {}
 
 BackendDevice::~BackendDevice() { stop(); }
 
@@ -113,6 +121,8 @@ void BackendDevice::service_loop() {
             << "rejecting poisoned chain head=" << chain.head;
         malformed_chains_.inc();
         poisoned_chains_.inc();
+        sim::flight_recorder().dump("backend rejected poisoned chain",
+                                    chain.trace);
         reject_chain(chain, sim::Status::kIoError, chain.kick_ts);
         continue;
       }
@@ -125,6 +135,8 @@ void BackendDevice::service_loop() {
             << "rejecting malformed chain head=" << chain.head << " ("
             << chain.segments.size() << " segment(s))";
         malformed_chains_.inc();
+        sim::flight_recorder().dump("backend rejected malformed chain",
+                                    chain.trace);
         reject_chain(chain, sim::Status::kInvalidArgument, chain.kick_ts);
         continue;
       }
@@ -135,8 +147,10 @@ void BackendDevice::service_loop() {
       {
         std::lock_guard lock(mu_);
         op_counts_
-            .try_emplace(req.op, std::string("vphi.be.op.") +
-                                     op_name(req.op) + ".requests")
+            .try_emplace(req.op,
+                         std::string("vphi.be.op.") + op_name(req.op) +
+                             ".requests",
+                         label_)
             .first->second.inc();
       }
       if (mode == ExecMode::kWorker) {
@@ -304,6 +318,8 @@ void BackendDevice::process_chain(sim::Actor& actor,
     VPHI_LOG(kWarn, "vphi-be") << "chain head=" << chain.head
                                << " has no usable response segment";
     malformed_chains_.inc();
+    sim::flight_recorder().dump("backend chain without response segment",
+                                chain.trace);
     reject_chain(chain, sim::Status::kInvalidArgument, actor.now());
     return;
   }
@@ -315,22 +331,32 @@ void BackendDevice::process_chain(sim::Actor& actor,
         << static_cast<std::uint32_t>(req.op) << " payload_len="
         << req.payload_len << " failed validation: " << sim::to_string(valid);
     validation_failures_.inc();
+    sim::flight_recorder().dump(
+        std::string("backend validation failure: ")
+            .append(sim::to_string(valid)),
+        chain.trace);
     set_status(resp, valid);
   } else {
     sim::tracer().record(chain.trace, sim::SpanEvent::kHostSyscall,
                          actor.now());
+    // Card-core occupancy attribution: the provider's SCIF work charges this
+    // actor, so the clock delta across execute() is exactly the card/host
+    // service time this VM consumed. Pure bookkeeping — the delta is read,
+    // never re-charged.
+    const sim::Nanos exec_start = actor.now();
     execute(actor, req, out_payload, out_len, in_payload, in_capacity, resp);
+    fabric_->charge_card_occupancy(vm_->name(), actor.now() - exec_start);
   }
 
   auto& fi = sim::fault_injector();
-  if (fi.should_fire(sim::FaultSite::kCorruptResponseStatus)) {
+  if (fi.should_fire(sim::FaultSite::kCorruptResponseStatus, chain.trace)) {
     // A buggy backend build (or bit flip) answering with garbage: the
     // status int is not a Status value and payload_len is absurd. The
     // frontend's response validation must catch both.
     resp.status = 0x0BADBEEF;
     resp.payload_len = 0xFFFF'FFFF;
   }
-  if (fi.should_fire(sim::FaultSite::kCorruptResponseRet)) {
+  if (fi.should_fire(sim::FaultSite::kCorruptResponseRet, chain.trace)) {
     // Plausible-looking header (valid status, sane payload_len) whose ret0
     // violates per-op contracts, e.g. "bytes moved" larger than the chunk.
     // Only the op layer (guest_scif) can catch this one.
@@ -344,7 +370,7 @@ void BackendDevice::process_chain(sim::Actor& actor,
   actor.advance(m.be_complete_ns);
   std::uint32_t written = static_cast<std::uint32_t>(sizeof(ResponseHeader)) +
                           resp.payload_len;
-  if (fi.should_fire(sim::FaultSite::kShortUsedWrite)) {
+  if (fi.should_fire(sim::FaultSite::kShortUsedWrite, chain.trace)) {
     // The used entry claims nothing was written even though the chain
     // completed — the frontend must not parse the response header.
     written = 0;

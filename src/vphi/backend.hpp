@@ -132,11 +132,14 @@ class BackendDevice {
 
   mutable std::mutex mu_;
   std::map<Op, sim::metrics::Counter> op_counts_;  ///< guarded by mu_
-  sim::metrics::Counter worker_requests_{"vphi.be.requests.worker"};
-  sim::metrics::Counter blocking_requests_{"vphi.be.requests.blocking"};
-  sim::metrics::Counter malformed_chains_{"vphi.be.malformed_chains"};
-  sim::metrics::Counter poisoned_chains_{"vphi.be.poisoned_chains"};
-  sim::metrics::Counter validation_failures_{"vphi.be.validation_failures"};
+  /// Tenant label ("vm=<name>") on every vphi.be.* instrument: the registry
+  /// splits the backend catalogue per VM, aggregates keep their names.
+  const std::string label_;
+  sim::metrics::Counter worker_requests_;
+  sim::metrics::Counter blocking_requests_;
+  sim::metrics::Counter malformed_chains_;
+  sim::metrics::Counter poisoned_chains_;
+  sim::metrics::Counter validation_failures_;
 
   // Per-endpoint ordered worker queues (transfer ops in worker mode).
   std::mutex ep_mu_;

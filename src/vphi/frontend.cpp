@@ -1,11 +1,14 @@
 #include "vphi/frontend.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "sim/fault.hpp"
 #include "sim/log.hpp"
+#include "sim/recorder.hpp"
 #include "virtio/device.hpp"
 #include "virtio/ring.hpp"
 
@@ -62,13 +65,13 @@ constexpr bool idempotent_op(Op op) noexcept {
 }
 }  // namespace
 
-FrontendDriver::OpCounters::OpCounters(Op op)
-    : errors(std::string("vphi.fe.op.") + op_name(op) + ".errors"),
-      timeouts(std::string("vphi.fe.op.") + op_name(op) + ".timeouts"),
-      retries(std::string("vphi.fe.op.") + op_name(op) + ".retries") {}
+FrontendDriver::OpCounters::OpCounters(Op op, const std::string& label)
+    : errors(std::string("vphi.fe.op.") + op_name(op) + ".errors", label),
+      timeouts(std::string("vphi.fe.op.") + op_name(op) + ".timeouts", label),
+      retries(std::string("vphi.fe.op.") + op_name(op) + ".retries", label) {}
 
 FrontendDriver::OpCounters& FrontendDriver::op_counters_locked(Op op) {
-  return counters_.try_emplace(op, op).first->second;
+  return counters_.try_emplace(op, op, label_).first->second;
 }
 
 const char* wait_scheme_name(WaitScheme scheme) noexcept {
@@ -81,7 +84,38 @@ const char* wait_scheme_name(WaitScheme scheme) noexcept {
 }
 
 FrontendDriver::FrontendDriver(hv::Vm& vm, Config config)
-    : vm_(&vm), config_(config) {}
+    : vm_(&vm),
+      config_(config),
+      label_("vm=" + vm.name()),
+      requests_("vphi.fe.requests", label_),
+      interrupt_waits_("vphi.fe.interrupt_waits", label_),
+      polled_waits_("vphi.fe.polled_waits", label_),
+      timeouts_("vphi.fe.timeouts", label_),
+      retries_("vphi.fe.retries", label_),
+      protocol_errors_("vphi.fe.protocol_errors", label_),
+      fast_reaps_("vphi.fe.fast_reaps", label_),
+      poll_cpu_burn_ns_("vphi.fe.poll_cpu_burn_ns", label_),
+      bytes_out_("vphi.fe.bytes_out", label_),
+      bytes_in_("vphi.fe.bytes_in", label_),
+      zombie_chains_("vphi.fe.zombie_chains", label_),
+      request_latency_("vphi.fe.request_latency_ns", label_),
+      watchdog_enabled_(config.watchdog),
+      watchdog_multiplier_(config.watchdog_multiplier),
+      watchdog_stalls_("vphi.watchdog.stalls", label_),
+      watchdog_budget_ns_("vphi.watchdog.budget_ns", label_) {
+  if (const char* env = std::getenv("VPHI_WATCHDOG")) {
+    if (env[0] == '0' && env[1] == '\0') {
+      watchdog_enabled_ = false;
+    } else {
+      char* end = nullptr;
+      const double mult = std::strtod(env, &end);
+      if (end != env && mult > 0.0) {
+        watchdog_enabled_ = true;
+        watchdog_multiplier_ = mult;
+      }
+    }
+  }
+}
 
 FrontendDriver::~FrontendDriver() {
   if (probed_) vm_->set_irq_handler(nullptr);
@@ -167,6 +201,47 @@ void FrontendDriver::drain_used(sim::Nanos ts_floor) {
       }
     }
     if (!sleeper || !vm_->vq().arm_used_event()) break;
+  }
+  watchdog_scan_locked();
+}
+
+sim::Nanos FrontendDriver::watchdog_budget_locked() {
+  // Throttle the histogram snapshot: a tight poll loop scans every spin,
+  // and the budget only drifts as new completions land.
+  if (watchdog_budget_cache_ != 0 && ++watchdog_scan_tick_ < 32) {
+    return watchdog_budget_cache_;
+  }
+  if (watchdog_budget_cache_ == 0 && ++watchdog_scan_tick_ < 32) return 0;
+  watchdog_scan_tick_ = 0;
+  const sim::Histogram h = request_latency_.snapshot();
+  if (h.count() < config_.watchdog_min_samples) return watchdog_budget_cache_;
+  const auto derived =
+      static_cast<sim::Nanos>(h.percentile(0.99) * watchdog_multiplier_);
+  watchdog_budget_cache_ =
+      std::max<sim::Nanos>(1, std::max(config_.watchdog_floor_ns, derived));
+  watchdog_budget_ns_.set(watchdog_budget_cache_);
+  return watchdog_budget_cache_;
+}
+
+void FrontendDriver::watchdog_scan_locked() {
+  if (!watchdog_enabled_) return;
+  const sim::Nanos budget = watchdog_budget_locked();
+  if (budget <= 0) return;
+  // Age against the watermark — the newest time anywhere in the system —
+  // not this thread's clock: a stalled request is one the *simulation* has
+  // moved past, regardless of which actor noticed.
+  const sim::Nanos now = sim::watermark();
+  for (auto& [seq, p] : pending_) {
+    if (p.completed || p.stall_flagged) continue;
+    const sim::Nanos age = now - p.submit_ts;
+    if (age <= budget) continue;
+    p.stall_flagged = true;  // fires exactly once per request
+    watchdog_stalls_.inc();
+    VPHI_LOG(kWarn, "vphi-fe")
+        << "watchdog: op " << op_name(p.op) << " seq=" << seq
+        << " in flight " << age << " ns > budget " << budget << " ns";
+    sim::flight_recorder().dump(
+        std::string("watchdog stall: op ") + op_name(p.op), p.trace);
   }
 }
 
@@ -292,7 +367,8 @@ sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
   header.payload_len = static_cast<std::uint32_t>(args.out_len);
   std::memcpy(ram.translate(*req_gpa, sizeof(RequestHeader)), &header,
               sizeof(RequestHeader));
-  if (sim::fault_injector().should_fire(sim::FaultSite::kCorruptRequestHeader)) {
+  if (sim::fault_injector().should_fire(sim::FaultSite::kCorruptRequestHeader,
+                                        trace)) {
     // Scribble over the staged header after the driver wrote it — models a
     // hostile or buggy guest mutating the in-flight request. The backend's
     // validator must reject both the unknown op and the lying payload_len.
@@ -384,6 +460,7 @@ sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
     pending_.emplace(seq, std::move(p));
     inflight_[head] = seq;
     requests_.inc();
+    bytes_out_.inc(args.out_len);
   }
 
   actor.advance(m.virtio_enqueue_ns);
@@ -502,6 +579,9 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
         VPHI_LOG(kWarn, "vphi-fe")
             << "op " << op_name(op) << " head=" << head
             << " timed out (lost request)";
+        sim::flight_recorder().dump(
+            std::string("frontend timeout (lost request): op ") + op_name(op),
+            req.trace);
         return sim::Status::kTimedOut;
       }
       if (req.done_ts > deadline) {
@@ -533,6 +613,10 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
         VPHI_LOG(kWarn, "vphi-fe")
             << "op " << op_name(op) << " head=" << head << " completed at "
             << req.done_ts << " > deadline " << deadline;
+        sim::flight_recorder().dump(
+            std::string("frontend timeout (late completion): op ") +
+                op_name(op),
+            req.trace);
         free_buffers(req);
         return sim::Status::kTimedOut;
       }
@@ -586,6 +670,9 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
       VPHI_LOG(kWarn, "vphi-fe")
           << "op " << op_name(op) << " head=" << head
           << " timed out (polling)";
+      sim::flight_recorder().dump(
+          std::string("frontend timeout (polling): op ") + op_name(op),
+          req.trace);
       return sim::Status::kTimedOut;
     }
   }
@@ -613,6 +700,10 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::finish(
     protocol_errors_.inc();
     free_buffers(req);
     sim::tracer().record(req.trace, sim::SpanEvent::kComplete, actor.now());
+    sim::flight_recorder().dump(
+        std::string("frontend protocol error (short response): op ") +
+            op_name(req.op),
+        req.trace);
     return sim::Status::kIoError;
   }
   TransactResult result;
@@ -631,6 +722,10 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::finish(
     protocol_errors_.inc();
     free_buffers(req);
     sim::tracer().record(req.trace, sim::SpanEvent::kComplete, actor.now());
+    sim::flight_recorder().dump(
+        std::string("frontend protocol error (malformed response): op ") +
+            op_name(req.op),
+        req.trace);
     return sim::Status::kIoError;
   }
   const std::size_t copy_back = result.response.payload_len;
@@ -641,6 +736,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::finish(
                 copy_back);
   }
   result.in_written = copy_back;
+  bytes_in_.inc(copy_back);
   free_buffers(req);
   sim::tracer().record(req.trace, sim::SpanEvent::kComplete, actor.now());
   request_latency_.record(actor.now() - req.submit_ts);

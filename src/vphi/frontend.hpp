@@ -76,6 +76,21 @@ struct FrontendConfig {
   /// is not bound by KMALLOC_MAX_SIZE; this bounds the DMA each command
   /// programs, and is what the pipelined walk overlaps.
   std::size_t rma_chunk = 16ull << 20;
+
+  /// Stall watchdog — a pure observer (never advances the simulated clock).
+  /// Flags any in-flight request whose age against the simulation
+  /// watermark exceeds a budget derived from the observed completion
+  /// latencies: max(watchdog_floor_ns, watchdog_multiplier * p99). The
+  /// watchdog arms only after watchdog_min_samples completions, so the
+  /// budget reflects this workload rather than a guess. Each flagged
+  /// request fires exactly once: vphi.watchdog.stalls increments and the
+  /// flight recorder dumps with that request as focus. Env override
+  /// VPHI_WATCHDOG: "0" disables, a positive number replaces the
+  /// multiplier.
+  bool watchdog = true;
+  double watchdog_multiplier = 8.0;
+  std::size_t watchdog_min_samples = 32;
+  sim::Nanos watchdog_floor_ns = 0;
 };
 
 class FrontendDriver {
@@ -174,6 +189,13 @@ class FrontendDriver {
   /// Completions reaped on the pipelined fast path (already delivered by a
   /// coalesced interrupt — no sleep, no per-chunk wakeup cost).
   std::uint64_t fast_reaps() const { return fast_reaps_.value(); }
+  /// Payload bytes staged out through / copied back from bounce buffers.
+  std::uint64_t bytes_out() const { return bytes_out_.value(); }
+  std::uint64_t bytes_in() const { return bytes_in_.value(); }
+  /// Requests the stall watchdog flagged (at most once each).
+  std::uint64_t watchdog_stalls() const { return watchdog_stalls_.value(); }
+  /// Current stall budget in simulated ns; 0 while the watchdog is unarmed.
+  sim::Nanos watchdog_budget() const { return watchdog_budget_ns_.value(); }
 
  private:
   struct Pending {
@@ -193,9 +215,10 @@ class FrontendDriver {
     std::vector<std::uint64_t> gpas; ///< owned bounce buffers (park order)
     sim::TraceId trace = 0;          ///< request trace context (0 = off)
     sim::Nanos submit_ts = 0;        ///< submit_once entry time
+    bool stall_flagged = false;      ///< watchdog fired for this request
   };
   struct OpCounters {
-    explicit OpCounters(Op op);
+    OpCounters(Op op, const std::string& label);
     sim::metrics::Counter errors;    ///< transact() attempts that failed
     sim::metrics::Counter timeouts;  ///< ... of which hit the deadline
     sim::metrics::Counter retries;   ///< retries issued for this op
@@ -220,6 +243,15 @@ class FrontendDriver {
   void on_irq(sim::Nanos irq_ts);
   void drain_used(sim::Nanos ts_floor);
   bool use_polling(std::size_t payload) const;
+  /// Watchdog sweep over pending_: flag (once) every in-flight request
+  /// older than the stall budget, bump vphi.watchdog.stalls and dump the
+  /// flight recorder focused on it. Pure observer — reads sim::watermark(),
+  /// never touches any actor clock. mu_ must be held.
+  void watchdog_scan_locked();
+  /// Stall budget = max(floor, multiplier * p99(request_latency_)), armed
+  /// once min_samples completions exist; cached and recomputed every ~32
+  /// scans so the sweep stays cheap. mu_ must be held.
+  sim::Nanos watchdog_budget_locked();
 
   /// RAII active-call marker so the destructor can drain callers that a VM
   /// shutdown woke but that have not yet left driver code.
@@ -266,19 +298,34 @@ class FrontendDriver {
   /// write land in re-kmalloc'd memory. Keyed by chain head.
   std::map<std::uint16_t, std::vector<std::uint64_t>> zombies_;
   std::map<Op, OpCounters> counters_;
-  sim::metrics::Counter requests_{"vphi.fe.requests"};
-  sim::metrics::Counter interrupt_waits_{"vphi.fe.interrupt_waits"};
-  sim::metrics::Counter polled_waits_{"vphi.fe.polled_waits"};
-  sim::metrics::Counter timeouts_{"vphi.fe.timeouts"};
-  sim::metrics::Counter retries_{"vphi.fe.retries"};
-  sim::metrics::Counter protocol_errors_{"vphi.fe.protocol_errors"};
-  sim::metrics::Counter fast_reaps_{"vphi.fe.fast_reaps"};
-  sim::metrics::Counter poll_cpu_burn_ns_{"vphi.fe.poll_cpu_burn_ns"};
+  /// Tenant label ("vm=<name>") stamped on every instrument below, so the
+  /// registry splits the vphi.fe.* catalogue per VM while the aggregates
+  /// keep their existing names and sums.
+  const std::string label_;
+  sim::metrics::Counter requests_;
+  sim::metrics::Counter interrupt_waits_;
+  sim::metrics::Counter polled_waits_;
+  sim::metrics::Counter timeouts_;
+  sim::metrics::Counter retries_;
+  sim::metrics::Counter protocol_errors_;
+  sim::metrics::Counter fast_reaps_;
+  sim::metrics::Counter poll_cpu_burn_ns_;
+  /// Payload bytes staged out / copied back — the per-VM throughput basis
+  /// the fairness index is computed over.
+  sim::metrics::Counter bytes_out_;
+  sim::metrics::Counter bytes_in_;
   /// Bounce-buffer sets parked by timed-out requests, not yet reclaimed.
-  sim::metrics::Gauge zombie_chains_{"vphi.fe.zombie_chains"};
+  sim::metrics::Gauge zombie_chains_;
   /// submit-to-complete latency of every successful request.
-  sim::metrics::LatencyHistogram request_latency_{
-      "vphi.fe.request_latency_ns"};
+  sim::metrics::LatencyHistogram request_latency_;
+
+  // Stall-watchdog state (mu_ guards the cache; instruments are atomic).
+  bool watchdog_enabled_ = false;
+  double watchdog_multiplier_ = 8.0;
+  sim::Nanos watchdog_budget_cache_ = 0;
+  std::uint32_t watchdog_scan_tick_ = 0;
+  sim::metrics::Counter watchdog_stalls_;
+  sim::metrics::Gauge watchdog_budget_ns_;
 };
 
 }  // namespace vphi::core
