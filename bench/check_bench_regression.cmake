@@ -1,27 +1,31 @@
-# bench_regression ctest body. Re-runs the pipelining-sensitive benches in
-# --smoke mode and compares every throughput row against the committed
-# baseline snapshots in bench/baselines/: a row more than 10% below its
-# baseline gbps fails the test. Latency-style rows (gbps 0) are skipped —
-# the baselines bound throughput, the bench_smoke invariants bound ordering.
+# bench_regression ctest body. Re-runs the pipelining-, latency- and
+# sharing-sensitive benches in --smoke mode and compares every row against
+# the committed baseline snapshots in bench/baselines/: a throughput row
+# (gbps > 0) more than its floor below baseline fails, and a latency row
+# (gbps 0, ns > 0) more than 10% ABOVE its baseline ns fails.
 #
-# Concurrent smoke runs jitter by well under 10% run-to-run (the simulated
+# Single-VM smoke runs jitter by well under 10% run-to-run (the simulated
 # clock is the measurement clock; only cross-thread arbitration order
-# varies), so the threshold separates real regressions from scheduling
-# noise. Refresh a baseline by copying the freshly written BENCH_*.json over
+# varies), so the default 90% floor separates real regressions from
+# scheduling noise. The multi-VM sharing bench's aggregate swings ~10%
+# with arbitration order, so abl3 gets a looser 75% floor — still tight
+# enough to catch a real serialization bug, which halves it. Refresh a
+# baseline by copying the freshly written BENCH_*.json over
 # bench/baselines/ after an intentional perf change.
 #
 # Invoked as:
-#   cmake -DFIG5=<fig5 binary> -DABL6=<abl6 binary>
+#   cmake -DFIG4=<fig4 binary> -DFIG5=<fig5 binary> -DABL3=<abl3 binary>
+#         -DABL6=<abl6 binary>
 #         -DBASELINE_DIR=<bench/baselines> -P check_bench_regression.cmake
 # with the working directory set to where the fresh JSON files should land.
 
-foreach(_var FIG5 ABL6 BASELINE_DIR)
+foreach(_var FIG4 FIG5 ABL3 ABL6 BASELINE_DIR)
   if(NOT DEFINED ${_var})
     message(FATAL_ERROR "bench_regression: -D${_var}=<path> is required")
   endif()
 endforeach()
 
-foreach(_bin ${FIG5} ${ABL6})
+foreach(_bin ${FIG4} ${FIG5} ${ABL3} ${ABL6})
   execute_process(COMMAND ${_bin} --smoke RESULT_VARIABLE _rc
                   OUTPUT_VARIABLE _out ERROR_VARIABLE _err)
   if(NOT _rc EQUAL 0)
@@ -44,8 +48,8 @@ function(to_milli value out_var)
   set(${out_var} ${_milli} PARENT_SCOPE)
 endfunction()
 
-# Find the gbps of the row matching op+size, or NOTFOUND.
-function(row_gbps json op size out_var)
+# Find field `field` of the row matching op+size, or NOTFOUND.
+function(row_field json op size field out_var)
   set(${out_var} "NOTFOUND" PARENT_SCOPE)
   string(JSON _nrows LENGTH "${json}" rows)
   if(_nrows EQUAL 0)
@@ -56,8 +60,8 @@ function(row_gbps json op size out_var)
     string(JSON _op GET "${json}" rows ${_i} op)
     string(JSON _size GET "${json}" rows ${_i} size)
     if(_op STREQUAL ${op} AND _size EQUAL ${size})
-      string(JSON _gbps GET "${json}" rows ${_i} gbps)
-      set(${out_var} ${_gbps} PARENT_SCOPE)
+      string(JSON _value GET "${json}" rows ${_i} ${field})
+      set(${out_var} ${_value} PARENT_SCOPE)
       return()
     endif()
   endforeach()
@@ -80,29 +84,55 @@ foreach(_baseline ${_baselines})
   file(READ ${_baseline} _base_json)
   file(READ ${CMAKE_CURRENT_BINARY_DIR}/${_name} _cur_json)
 
+  # Throughput floor as a percentage of baseline; the multi-VM sharing
+  # aggregate legitimately swings with arbitration order.
+  set(_floor_pct 90)
+  if(_name MATCHES "abl3_multivm_sharing")
+    set(_floor_pct 75)
+  endif()
+
   string(JSON _nrows LENGTH "${_base_json}" rows)
   math(EXPR _last "${_nrows} - 1")
   foreach(_i RANGE ${_last})
     string(JSON _op GET "${_base_json}" rows ${_i} op)
     string(JSON _size GET "${_base_json}" rows ${_i} size)
     string(JSON _base_gbps GET "${_base_json}" rows ${_i} gbps)
+    string(JSON _base_ns GET "${_base_json}" rows ${_i} ns)
     if(_base_gbps EQUAL 0)
-      continue()  # latency-style row: no throughput to bound
+      # Latency-style row: bound simulated ns from above instead (10%
+      # ceiling). Rows with neither ns nor gbps carry no bound.
+      if(_base_ns EQUAL 0)
+        continue()
+      endif()
+      row_field("${_cur_json}" ${_op} ${_size} ns _cur_ns)
+      if(_cur_ns STREQUAL "NOTFOUND")
+        list(APPEND _failures "${_name}: row op=${_op} size=${_size} vanished")
+        continue()
+      endif()
+      math(EXPR _lhs "${_cur_ns} * 100")
+      math(EXPR _rhs "${_base_ns} * 110")
+      if(_lhs GREATER _rhs)
+        list(APPEND _failures
+             "${_name}: op=${_op} size=${_size} latency regressed to "
+             "${_cur_ns} ns (baseline ${_base_ns} ns, ceiling is 110%)")
+      endif()
+      math(EXPR _checked "${_checked} + 1")
+      continue()
     endif()
-    row_gbps("${_cur_json}" ${_op} ${_size} _cur_gbps)
+    row_field("${_cur_json}" ${_op} ${_size} gbps _cur_gbps)
     if(_cur_gbps STREQUAL "NOTFOUND")
       list(APPEND _failures "${_name}: row op=${_op} size=${_size} vanished")
       continue()
     endif()
     to_milli(${_base_gbps} _base_milli)
     to_milli(${_cur_gbps} _cur_milli)
-    # Fail when cur < 0.9 * baseline, in integer milli-gbps.
-    math(EXPR _lhs "${_cur_milli} * 10")
-    math(EXPR _rhs "${_base_milli} * 9")
+    # Fail when cur < floor% of baseline, in integer milli-gbps.
+    math(EXPR _lhs "${_cur_milli} * 100")
+    math(EXPR _rhs "${_base_milli} * ${_floor_pct}")
     if(_lhs LESS _rhs)
       list(APPEND _failures
            "${_name}: op=${_op} size=${_size} regressed to ${_cur_gbps} "
-           "GB/s (baseline ${_base_gbps} GB/s, floor is 90%)")
+           "GB/s (baseline ${_base_gbps} GB/s, floor is ${_floor_pct}%)")
     endif()
     math(EXPR _checked "${_checked} + 1")
   endforeach()
@@ -113,5 +143,5 @@ if(_failures)
   message(FATAL_ERROR "bench_regression FAILED:\n  ${_failures}")
 endif()
 message(STATUS
-        "bench_regression OK: ${_checked} throughput rows within 10% of "
-        "baseline")
+        "bench_regression OK: ${_checked} throughput/latency rows within "
+        "bounds of baseline")

@@ -8,19 +8,19 @@ KernelRegistry& KernelRegistry::instance() {
 }
 
 void KernelRegistry::register_kernel(const std::string& name, KernelFn fn) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   table_[name] = std::move(fn);
 }
 
 sim::Expected<KernelFn> KernelRegistry::lookup(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = table_.find(name);
   if (it == table_.end()) return sim::Status::kNoSuchEntry;
   return it->second;
 }
 
 bool KernelRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return table_.count(name) > 0;
 }
 

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+#include "sim/thread_safety.hpp"
 #include <string>
 #include <vector>
 
@@ -63,8 +63,8 @@ class KernelRegistry {
   bool contains(const std::string& name) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, KernelFn> table_;
+  mutable sim::Mutex mu_;
+  std::map<std::string, KernelFn> table_ VPHI_GUARDED_BY(mu_);
 };
 
 /// Convenience: static-init registration.

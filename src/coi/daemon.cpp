@@ -34,7 +34,7 @@ void Daemon::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> connections;
   {
-    std::lock_guard lock(conn_mu_);
+    sim::MutexLock lock(conn_mu_);
     connections.swap(connections_);
   }
   for (auto& c : connections) {
@@ -51,7 +51,7 @@ void Daemon::accept_loop() {
     auto acc = provider_->accept(listener_epd_, scif::SCIF_ACCEPT_SYNC);
     if (!acc) break;  // listener closed during shutdown
     const int epd = acc->epd;
-    std::lock_guard lock(conn_mu_);
+    sim::MutexLock lock(conn_mu_);
     connections_.emplace_back([this, epd] { serve_connection(epd); });
   }
 }
@@ -102,7 +102,7 @@ void Daemon::serve_connection(int epd) {
         proc.nthreads = *nthreads;
         proc.args = *args;
         {
-          std::lock_guard lock(stats_mu_);
+          sim::MutexLock lock(stats_mu_);
           proc.pid = next_pid_++;
           ++processes_created_;
         }
@@ -194,7 +194,7 @@ void Daemon::serve_connection(int epd) {
         std::string output;
         const int exit_code = run_kernel(fn_proc, actor, output);
         {
-          std::lock_guard lock(stats_mu_);
+          sim::MutexLock lock(stats_mu_);
           ++functions_run_;
         }
         Encoder e;
@@ -247,12 +247,12 @@ int Daemon::run_kernel(CardProcess& proc, sim::Actor& actor,
 }
 
 std::uint64_t Daemon::processes_created() const {
-  std::lock_guard lock(stats_mu_);
+  sim::MutexLock lock(stats_mu_);
   return processes_created_;
 }
 
 std::uint64_t Daemon::functions_run() const {
-  std::lock_guard lock(stats_mu_);
+  sim::MutexLock lock(stats_mu_);
   return functions_run_;
 }
 

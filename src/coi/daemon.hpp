@@ -12,7 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include "sim/thread_safety.hpp"
 #include <thread>
 #include <vector>
 
@@ -60,13 +60,13 @@ class Daemon {
 
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
+  sim::Mutex conn_mu_;
+  std::vector<std::thread> connections_ VPHI_GUARDED_BY(conn_mu_);
 
-  mutable std::mutex stats_mu_;
-  std::uint64_t next_pid_ = 1;
-  std::uint64_t processes_created_ = 0;
-  std::uint64_t functions_run_ = 0;
+  mutable sim::Mutex stats_mu_;
+  std::uint64_t next_pid_ VPHI_GUARDED_BY(stats_mu_) = 1;
+  std::uint64_t processes_created_ VPHI_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t functions_run_ VPHI_GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace vphi::coi

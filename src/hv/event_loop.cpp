@@ -14,30 +14,36 @@ EventLoop::~EventLoop() {
 
 void EventLoop::loop_main() {
   sim::ActorScope scope(loop_actor_);
-  std::unique_lock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return !pending_.empty() || stopping_; });
-    if (pending_.empty() && stopping_) return;
-    Handler handler = std::move(pending_.front());
-    pending_.pop_front();
-    idle_ = false;
-    lock.unlock();
+    Handler handler;
+    {
+      sim::MutexLock lock(mu_);
+      while (pending_.empty() && !stopping_) cv_.wait(mu_);
+      if (pending_.empty() && stopping_) return;
+      handler = std::move(pending_.front());
+      pending_.pop_front();
+      idle_ = false;
+    }
 
+    // Run the handler with mu_ dropped: post() from inside a handler must
+    // not deadlock, and the "loop held" account measures handler time only.
     const sim::Nanos before = loop_actor_.now();
     handler(loop_actor_);
     const sim::Nanos held = loop_actor_.now() - before;
 
-    lock.lock();
-    blocked_time_ += held;
-    ++handled_;
-    idle_ = pending_.empty();
-    if (idle_) idle_cv_.notify_all();
+    {
+      sim::MutexLock lock(mu_);
+      blocked_time_ += held;
+      ++handled_;
+      idle_ = pending_.empty();
+      if (idle_) idle_cv_.notify_all();
+    }
   }
 }
 
 void EventLoop::post(Handler handler) {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     pending_.push_back(std::move(handler));
     idle_ = false;
   }
@@ -45,7 +51,7 @@ void EventLoop::post(Handler handler) {
 }
 
 void EventLoop::run_in_worker(Handler handler, sim::Nanos start_ts) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   ++workers_spawned_;
   workers_.emplace_back(
       [this, handler = std::move(handler), start_ts] {
@@ -56,14 +62,14 @@ void EventLoop::run_in_worker(Handler handler, sim::Nanos start_ts) {
 }
 
 void EventLoop::drain() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [&] { return idle_ && pending_.empty(); });
+  sim::MutexLock lock(mu_);
+  while (!(idle_ && pending_.empty())) idle_cv_.wait(mu_);
 }
 
 void EventLoop::join_workers() {
   std::vector<std::thread> workers;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     workers.swap(workers_);
   }
   for (auto& w : workers) {
@@ -73,7 +79,7 @@ void EventLoop::join_workers() {
 
 void EventLoop::stop() {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     if (stopping_) {
       // Already stopped; just make sure the thread is joined.
     }
@@ -84,17 +90,17 @@ void EventLoop::stop() {
 }
 
 sim::Nanos EventLoop::blocked_time() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return blocked_time_;
 }
 
 std::uint64_t EventLoop::handled() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return handled_;
 }
 
 std::uint64_t EventLoop::workers_spawned() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return workers_spawned_;
 }
 

@@ -9,16 +9,15 @@
 // loop was held) the ablation bench A2 reports.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "sim/actor.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::hv {
@@ -35,45 +34,45 @@ class EventLoop {
 
   /// Run `handler` on the loop thread (QEMU's blocking mode). Handlers are
   /// strictly serialized; a long handler freezes everything behind it.
-  void post(Handler handler);
+  void post(Handler handler) VPHI_EXCLUDES(mu_);
 
   /// Run `handler` on a fresh worker thread (QEMU's threaded mode): the
   /// loop keeps spinning. The worker's actor starts at `start_ts` (time the
   /// handoff became visible).
-  void run_in_worker(Handler handler, sim::Nanos start_ts);
+  void run_in_worker(Handler handler, sim::Nanos start_ts) VPHI_EXCLUDES(mu_);
 
   /// Block until every posted handler so far has run.
-  void drain();
+  void drain() VPHI_EXCLUDES(mu_);
   /// Join all worker threads spawned so far.
-  void join_workers();
+  void join_workers() VPHI_EXCLUDES(mu_);
 
   /// Stop the loop thread; pending handlers still run first.
-  void stop();
+  void stop() VPHI_EXCLUDES(mu_);
 
   sim::Actor& loop_actor() noexcept { return loop_actor_; }
 
   /// Cumulative simulated time handlers held the loop (the "VM frozen"
   /// account of the paper's blocking-mode discussion).
-  sim::Nanos blocked_time() const;
-  std::uint64_t handled() const;
-  std::uint64_t workers_spawned() const;
+  sim::Nanos blocked_time() const VPHI_EXCLUDES(mu_);
+  std::uint64_t handled() const VPHI_EXCLUDES(mu_);
+  std::uint64_t workers_spawned() const VPHI_EXCLUDES(mu_);
 
  private:
-  void loop_main();
+  void loop_main() VPHI_EXCLUDES(mu_);
 
   std::string name_;
   sim::Actor loop_actor_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<Handler> pending_;
-  bool stopping_ = false;
-  bool idle_ = true;
-  std::uint64_t handled_ = 0;
-  std::uint64_t workers_spawned_ = 0;
-  sim::Nanos blocked_time_ = 0;
-  std::vector<std::thread> workers_;
+  mutable sim::Mutex mu_;
+  sim::CondVar cv_;
+  sim::CondVar idle_cv_;
+  std::deque<Handler> pending_ VPHI_GUARDED_BY(mu_);
+  bool stopping_ VPHI_GUARDED_BY(mu_) = false;
+  bool idle_ VPHI_GUARDED_BY(mu_) = true;
+  std::uint64_t handled_ VPHI_GUARDED_BY(mu_) = 0;
+  std::uint64_t workers_spawned_ VPHI_GUARDED_BY(mu_) = 0;
+  sim::Nanos blocked_time_ VPHI_GUARDED_BY(mu_) = 0;
+  std::vector<std::thread> workers_ VPHI_GUARDED_BY(mu_);
   std::thread loop_thread_;
 };
 

@@ -8,7 +8,7 @@ namespace vphi::hv {
 // --- WaitQueue ---------------------------------------------------------------
 
 std::uint64_t WaitQueue::prepare() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const std::uint64_t ticket = next_ticket_++;
   sleeping_.insert(ticket);
   return ticket;
@@ -27,65 +27,68 @@ sim::Status WaitQueue::wait_for(std::uint64_t ticket, sim::Actor& actor,
 sim::Status WaitQueue::wait_impl(
     std::uint64_t ticket, sim::Actor& actor,
     const std::chrono::steady_clock::time_point* wall_deadline) {
-  std::unique_lock lock(mu_);
-  std::uint64_t seen_generation = wake_generation_;
+  Completion c;
   std::uint64_t my_spurious = 0;
-  for (;;) {
-    if (shutdown_) {
-      sleeping_.erase(ticket);
-      return sim::Status::kShutDown;
+  {
+    sim::MutexLock lock(mu_);
+    std::uint64_t seen_generation = wake_generation_;
+    for (;;) {
+      if (shutdown_) {
+        sleeping_.erase(ticket);
+        return sim::Status::kShutDown;
+      }
+      if (auto it = completed_.find(ticket); it != completed_.end()) {
+        c = it->second;
+        completed_.erase(it);
+        sleeping_.erase(ticket);
+        break;
+      }
+      // Sleep until any wake event; count generations we woke for in vain.
+      ++blocked_;
+      bool woken = true;
+      while (!shutdown_ && wake_generation_ == seen_generation &&
+             completed_.count(ticket) == 0) {
+        if (wall_deadline == nullptr) {
+          cv_.wait(mu_);
+        } else if (cv_.wait_until(mu_, *wall_deadline) ==
+                   std::cv_status::timeout) {
+          woken = shutdown_ || wake_generation_ != seen_generation ||
+                  completed_.count(ticket) != 0;
+          if (!woken) break;
+        }
+      }
+      --blocked_;
+      if (!woken) {
+        // Nothing is coming for this ticket: deregister so a late complete()
+        // is dropped instead of leaking, and let the caller charge the
+        // simulated timeout.
+        sleeping_.erase(ticket);
+        return sim::Status::kTimedOut;
+      }
+      if (wake_generation_ != seen_generation &&
+          completed_.count(ticket) == 0 && !shutdown_) {
+        ++my_spurious;
+        ++spurious_;
+      }
+      seen_generation = wake_generation_;
     }
-    auto it = completed_.find(ticket);
-    if (it != completed_.end()) {
-      const Completion c = it->second;
-      completed_.erase(it);
-      sleeping_.erase(ticket);
-      lock.unlock();
-      // The waiting scheme: ISR entry + wake_up_all + scheduler-in of this
-      // waiter, plus the ring-check churn of every other sleeper our
-      // interrupt woke, plus our own spurious wakeups from other requests'
-      // interrupts while we slept.
-      const auto& m = *model_;
-      const std::uint64_t extra =
-          c.sleepers_at_irq > 0 ? c.sleepers_at_irq - 1 : 0;
-      actor.sync_to(c.irq_ts);
-      actor.advance(m.guest_irq_handler_ns + m.guest_wakeup_scheme_ns +
-                    extra * m.wakeup_per_extra_sleeper_ns +
-                    my_spurious * m.wakeup_per_extra_sleeper_ns);
-      return sim::Status::kOk;
-    }
-    // Sleep until any wake event; count generations we woke for in vain.
-    const auto wake_pred = [&] {
-      return shutdown_ || wake_generation_ != seen_generation ||
-             completed_.count(ticket) != 0;
-    };
-    ++blocked_;
-    bool woken = true;
-    if (wall_deadline != nullptr) {
-      woken = cv_.wait_until(lock, *wall_deadline, wake_pred);
-    } else {
-      cv_.wait(lock, wake_pred);
-    }
-    --blocked_;
-    if (!woken) {
-      // Nothing is coming for this ticket: deregister so a late complete()
-      // is dropped instead of leaking, and let the caller charge the
-      // simulated timeout.
-      sleeping_.erase(ticket);
-      return sim::Status::kTimedOut;
-    }
-    if (wake_generation_ != seen_generation &&
-        completed_.count(ticket) == 0 && !shutdown_) {
-      ++my_spurious;
-      ++spurious_;
-    }
-    seen_generation = wake_generation_;
   }
+  // The waiting scheme, charged with mu_ dropped: ISR entry + wake_up_all +
+  // scheduler-in of this waiter, plus the ring-check churn of every other
+  // sleeper our interrupt woke, plus our own spurious wakeups from other
+  // requests' interrupts while we slept.
+  const auto& m = *model_;
+  const std::uint64_t extra = c.sleepers_at_irq > 0 ? c.sleepers_at_irq - 1 : 0;
+  actor.sync_to(c.irq_ts);
+  actor.advance(m.guest_irq_handler_ns + m.guest_wakeup_scheme_ns +
+                extra * m.wakeup_per_extra_sleeper_ns +
+                my_spurious * m.wakeup_per_extra_sleeper_ns);
+  return sim::Status::kOk;
 }
 
 void WaitQueue::complete(std::uint64_t ticket, sim::Nanos irq_ts) {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     // A ticket that timed out (wait_for gave up) or was never prepared is
     // no longer in sleeping_: drop the completion instead of parking it in
     // completed_ forever.
@@ -97,31 +100,31 @@ void WaitQueue::complete(std::uint64_t ticket, sim::Nanos irq_ts) {
 }
 
 void WaitQueue::cancel(std::uint64_t ticket) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   sleeping_.erase(ticket);
   completed_.erase(ticket);
 }
 
 void WaitQueue::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t WaitQueue::sleepers() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return sleeping_.size();
 }
 
 std::size_t WaitQueue::blocked_waiters() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return blocked_;
 }
 
 std::uint64_t WaitQueue::spurious_wakeups() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return spurious_;
 }
 
@@ -129,7 +132,7 @@ std::uint64_t WaitQueue::spurious_wakeups() const {
 
 sim::Status VmaTable::add(const Vma& vma) {
   if (vma.len == 0) return sim::Status::kInvalidArgument;
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const std::uint64_t end = vma.gva_start + vma.len;
   auto it = vmas_.lower_bound(vma.gva_start);
   if (it != vmas_.end() && it->first < end) return sim::Status::kAlreadyExists;
@@ -144,13 +147,13 @@ sim::Status VmaTable::add(const Vma& vma) {
 }
 
 sim::Status VmaTable::remove(std::uint64_t gva_start) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return vmas_.erase(gva_start) > 0 ? sim::Status::kOk
                                     : sim::Status::kNoSuchEntry;
 }
 
 const Vma* VmaTable::find(std::uint64_t gva) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = vmas_.upper_bound(gva);
   if (it == vmas_.begin()) return nullptr;
   --it;
@@ -159,7 +162,7 @@ const Vma* VmaTable::find(std::uint64_t gva) const {
 }
 
 std::size_t VmaTable::count() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return vmas_.size();
 }
 
@@ -172,13 +175,13 @@ sim::Status GuestKernel::pin_pages(sim::Actor& actor, std::uint64_t gpa,
   const std::uint64_t pages =
       (len + GuestPhysMem::kPageSize - 1) / GuestPhysMem::kPageSize;
   actor.advance(pages * model_->pin_per_page_ns);
-  std::lock_guard lock(pin_mu_);
+  sim::MutexLock lock(pin_mu_);
   pinned_[gpa] = std::max(pinned_[gpa], len);
   return sim::Status::kOk;
 }
 
 sim::Status GuestKernel::unpin_pages(std::uint64_t gpa, std::uint64_t len) {
-  std::lock_guard lock(pin_mu_);
+  sim::MutexLock lock(pin_mu_);
   auto it = pinned_.find(gpa);
   if (it == pinned_.end() || it->second != len) {
     return sim::Status::kInvalidArgument;
@@ -188,7 +191,7 @@ sim::Status GuestKernel::unpin_pages(std::uint64_t gpa, std::uint64_t len) {
 }
 
 bool GuestKernel::is_pinned(std::uint64_t gpa, std::uint64_t len) const {
-  std::lock_guard lock(pin_mu_);
+  sim::MutexLock lock(pin_mu_);
   auto it = pinned_.upper_bound(gpa);
   if (it == pinned_.begin()) return false;
   --it;
@@ -196,7 +199,7 @@ bool GuestKernel::is_pinned(std::uint64_t gpa, std::uint64_t len) const {
 }
 
 std::uint64_t GuestKernel::pinned_bytes() const {
-  std::lock_guard lock(pin_mu_);
+  sim::MutexLock lock(pin_mu_);
   std::uint64_t total = 0;
   for (const auto& [_, len] : pinned_) total += len;
   return total;

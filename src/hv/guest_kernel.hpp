@@ -14,10 +14,8 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
@@ -25,6 +23,7 @@
 #include "sim/actor.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace vphi::hv {
 
@@ -35,13 +34,14 @@ class WaitQueue {
 
   /// Register as a sleeper; returns the ticket the ISR completes later.
   /// Must be called before the request is kicked (no lost-wakeup window).
-  std::uint64_t prepare();
+  std::uint64_t prepare() VPHI_EXCLUDES(mu_);
 
   /// Sleep until complete(ticket) arrives. Applies the waiting-scheme cost
   /// to `actor`: resume time is irq visibility + ISR entry + wakeup scheme
   /// + a tax for every other sleeper woken spuriously by our interrupt.
   /// Returns kShutDown if the queue was torn down first.
-  sim::Status wait(std::uint64_t ticket, sim::Actor& actor);
+  sim::Status wait(std::uint64_t ticket, sim::Actor& actor)
+      VPHI_EXCLUDES(mu_);
 
   /// Bounded wait: like wait(), but gives up after `wall_grace` of real time
   /// with no completion. Simulated time cannot advance while nothing
@@ -52,23 +52,24 @@ class WaitQueue {
   /// complete() for it is ignored) and no waiting cost is charged; the
   /// caller owns the simulated-time accounting of the timeout.
   sim::Status wait_for(std::uint64_t ticket, sim::Actor& actor,
-                       std::chrono::milliseconds wall_grace);
+                       std::chrono::milliseconds wall_grace)
+      VPHI_EXCLUDES(mu_);
 
   /// ISR side: the response for `ticket` became visible at `irq_ts`.
   /// Completions for unknown (cancelled / timed-out) tickets are dropped.
-  void complete(std::uint64_t ticket, sim::Nanos irq_ts);
+  void complete(std::uint64_t ticket, sim::Nanos irq_ts) VPHI_EXCLUDES(mu_);
 
   /// Deregister a prepared ticket that will never be waited on (e.g. the
   /// request was never posted). A late complete() for it is dropped.
-  void cancel(std::uint64_t ticket);
+  void cancel(std::uint64_t ticket) VPHI_EXCLUDES(mu_);
 
-  void shutdown();
+  void shutdown() VPHI_EXCLUDES(mu_);
 
-  std::size_t sleepers() const;
+  std::size_t sleepers() const VPHI_EXCLUDES(mu_);
   /// Threads currently blocked inside wait() (for deterministic tests).
-  std::size_t blocked_waiters() const;
+  std::size_t blocked_waiters() const VPHI_EXCLUDES(mu_);
   /// Total spurious wakeups suffered by all sleepers (wake-all semantics).
-  std::uint64_t spurious_wakeups() const;
+  std::uint64_t spurious_wakeups() const VPHI_EXCLUDES(mu_);
 
  private:
   struct Completion {
@@ -79,18 +80,19 @@ class WaitQueue {
   /// Shared loop behind wait()/wait_for(); `wall_deadline` null = unbounded.
   sim::Status wait_impl(
       std::uint64_t ticket, sim::Actor& actor,
-      const std::chrono::steady_clock::time_point* wall_deadline);
+      const std::chrono::steady_clock::time_point* wall_deadline)
+      VPHI_EXCLUDES(mu_);
 
   const sim::CostModel* model_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::uint64_t next_ticket_ = 1;
-  std::set<std::uint64_t> sleeping_;
-  std::map<std::uint64_t, Completion> completed_;
-  std::uint64_t spurious_ = 0;
-  std::uint64_t wake_generation_ = 0;
-  std::size_t blocked_ = 0;
-  bool shutdown_ = false;
+  mutable sim::Mutex mu_;
+  sim::CondVar cv_;
+  std::uint64_t next_ticket_ VPHI_GUARDED_BY(mu_) = 1;
+  std::set<std::uint64_t> sleeping_ VPHI_GUARDED_BY(mu_);
+  std::map<std::uint64_t, Completion> completed_ VPHI_GUARDED_BY(mu_);
+  std::uint64_t spurious_ VPHI_GUARDED_BY(mu_) = 0;
+  std::uint64_t wake_generation_ VPHI_GUARDED_BY(mu_) = 0;
+  std::size_t blocked_ VPHI_GUARDED_BY(mu_) = 0;
+  bool shutdown_ VPHI_GUARDED_BY(mu_) = false;
 };
 
 /// vm_area_struct flags we care about. VM_PFNPHI is the new label vPHI
@@ -108,15 +110,15 @@ struct Vma {
 
 class VmaTable {
  public:
-  sim::Status add(const Vma& vma);
-  sim::Status remove(std::uint64_t gva_start);
+  sim::Status add(const Vma& vma) VPHI_EXCLUDES(mu_);
+  sim::Status remove(std::uint64_t gva_start) VPHI_EXCLUDES(mu_);
   /// The vma containing `gva`, or nullptr.
-  const Vma* find(std::uint64_t gva) const;
-  std::size_t count() const;
+  const Vma* find(std::uint64_t gva) const VPHI_EXCLUDES(mu_);
+  std::size_t count() const VPHI_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, Vma> vmas_;  // keyed by gva_start
+  mutable sim::Mutex mu_;
+  std::map<std::uint64_t, Vma> vmas_ VPHI_GUARDED_BY(mu_);  // by gva_start
 };
 
 class GuestKernel {
@@ -132,10 +134,12 @@ class GuestKernel {
   /// Pin `len` bytes of guest user memory at gpa (get_user_pages): charges
   /// per-page cost and records the pin so unregister can validate.
   sim::Status pin_pages(sim::Actor& actor, std::uint64_t gpa,
-                        std::uint64_t len);
-  sim::Status unpin_pages(std::uint64_t gpa, std::uint64_t len);
-  bool is_pinned(std::uint64_t gpa, std::uint64_t len) const;
-  std::uint64_t pinned_bytes() const;
+                        std::uint64_t len) VPHI_EXCLUDES(pin_mu_);
+  sim::Status unpin_pages(std::uint64_t gpa, std::uint64_t len)
+      VPHI_EXCLUDES(pin_mu_);
+  bool is_pinned(std::uint64_t gpa, std::uint64_t len) const
+      VPHI_EXCLUDES(pin_mu_);
+  std::uint64_t pinned_bytes() const VPHI_EXCLUDES(pin_mu_);
 
   /// copy_from_user / copy_to_user with guest-memcpy timing.
   void copy_from_user(sim::Actor& actor, void* dst, const void* src,
@@ -148,8 +152,9 @@ class GuestKernel {
   const sim::CostModel* model_;
   WaitQueue waitq_;
   VmaTable vmas_;
-  mutable std::mutex pin_mu_;
-  std::map<std::uint64_t, std::uint64_t> pinned_;  // gpa -> len
+  mutable sim::Mutex pin_mu_;
+  std::map<std::uint64_t, std::uint64_t> pinned_
+      VPHI_GUARDED_BY(pin_mu_);  // gpa -> len
 };
 
 }  // namespace vphi::hv

@@ -43,7 +43,7 @@ sim::Expected<std::uint64_t> GuestPhysMem::kmalloc(std::uint64_t len) {
 sim::Expected<std::uint64_t> GuestPhysMem::ualloc(std::uint64_t len) {
   if (len == 0) return sim::Status::kInvalidArgument;
   len = (len + kPageSize - 1) / kPageSize * kPageSize;
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
     if (it->second < len) continue;
     const std::uint64_t gpa = it->first;
@@ -57,7 +57,7 @@ sim::Expected<std::uint64_t> GuestPhysMem::ualloc(std::uint64_t len) {
 }
 
 sim::Status GuestPhysMem::kfree(std::uint64_t gpa) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = live_blocks_.find(gpa);
   if (it == live_blocks_.end()) return sim::Status::kInvalidArgument;
   std::uint64_t len = it->second;
@@ -80,14 +80,14 @@ sim::Status GuestPhysMem::kfree(std::uint64_t gpa) {
 }
 
 std::uint64_t GuestPhysMem::allocated_bytes() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [_, len] : live_blocks_) total += len;
   return total;
 }
 
 std::uint64_t GuestPhysMem::allocation_count() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return live_blocks_.size();
 }
 

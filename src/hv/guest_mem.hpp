@@ -16,9 +16,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace vphi::hv {
 
@@ -43,16 +43,16 @@ class GuestPhysMem {
 
   /// kmalloc: physically contiguous allocation, capped at KMALLOC_MAX_SIZE.
   /// Returns the gpa of the block.
-  sim::Expected<std::uint64_t> kmalloc(std::uint64_t len);
-  sim::Status kfree(std::uint64_t gpa);
+  sim::Expected<std::uint64_t> kmalloc(std::uint64_t len) VPHI_EXCLUDES(mu_);
+  sim::Status kfree(std::uint64_t gpa) VPHI_EXCLUDES(mu_);
 
   /// User-space allocation (mmap stand-in): same arena, no kmalloc cap.
   /// Guest user buffers for SCIF benchmarks come from here. Freed with
   /// kfree.
-  sim::Expected<std::uint64_t> ualloc(std::uint64_t len);
+  sim::Expected<std::uint64_t> ualloc(std::uint64_t len) VPHI_EXCLUDES(mu_);
 
-  std::uint64_t allocated_bytes() const;
-  std::uint64_t allocation_count() const;
+  std::uint64_t allocated_bytes() const VPHI_EXCLUDES(mu_);
+  std::uint64_t allocation_count() const VPHI_EXCLUDES(mu_);
   /// kmalloc requests denied (cap exceeded, arena exhausted, or injected
   /// ENOMEM via sim::FaultInjector).
   std::uint64_t kmalloc_failures() const noexcept {
@@ -63,9 +63,11 @@ class GuestPhysMem {
   std::uint64_t ram_bytes_;
   std::unique_ptr<std::byte[]> ram_;
   std::atomic<std::uint64_t> kmalloc_failures_{0};
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, std::uint64_t> free_blocks_;  // gpa -> len
-  std::map<std::uint64_t, std::uint64_t> live_blocks_;  // gpa -> len
+  mutable sim::Mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> free_blocks_
+      VPHI_GUARDED_BY(mu_);  // gpa -> len
+  std::map<std::uint64_t, std::uint64_t> live_blocks_
+      VPHI_GUARDED_BY(mu_);  // gpa -> len
 };
 
 }  // namespace vphi::hv

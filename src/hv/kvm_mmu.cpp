@@ -18,7 +18,7 @@ sim::Expected<std::byte*> Mmu::access(sim::Actor& actor, std::uint64_t gva,
   const std::uint64_t last_page = (gva + len - 1) / kPage;
   std::uint64_t new_faults = 0;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     for (std::uint64_t p = first_page; p <= last_page; ++p) {
       if (shadow_.insert(p).second) ++new_faults;
     }
@@ -29,7 +29,7 @@ sim::Expected<std::byte*> Mmu::access(sim::Actor& actor, std::uint64_t gva,
 }
 
 void Mmu::invalidate(std::uint64_t gva_start, std::uint64_t len) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const std::uint64_t first_page = gva_start / kPage;
   const std::uint64_t last_page =
       len == 0 ? first_page : (gva_start + len - 1) / kPage;
@@ -37,12 +37,12 @@ void Mmu::invalidate(std::uint64_t gva_start, std::uint64_t len) {
 }
 
 std::uint64_t Mmu::faults() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return fault_count_;
 }
 
 std::uint64_t Mmu::mapped_pages() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return shadow_.size();
 }
 

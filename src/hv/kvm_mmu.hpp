@@ -10,13 +10,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <set>
 
 #include "hv/guest_kernel.hpp"
 #include "sim/actor.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace vphi::hv::kvm {
 
@@ -29,22 +29,24 @@ class Mmu {
   /// host pointer into device memory. Faults (once per page) cost
   /// ept_fault_ns; every access costs MMIO per cacheline via the caller.
   sim::Expected<std::byte*> access(sim::Actor& actor, std::uint64_t gva,
-                                   std::uint64_t len);
+                                   std::uint64_t len) VPHI_EXCLUDES(mu_);
 
   /// Drop shadow entries for a torn-down vma (munmap).
-  void invalidate(std::uint64_t gva_start, std::uint64_t len);
+  void invalidate(std::uint64_t gva_start, std::uint64_t len)
+      VPHI_EXCLUDES(mu_);
 
-  std::uint64_t faults() const;
-  std::uint64_t mapped_pages() const;
+  std::uint64_t faults() const VPHI_EXCLUDES(mu_);
+  std::uint64_t mapped_pages() const VPHI_EXCLUDES(mu_);
 
  private:
   static constexpr std::uint64_t kPage = 4'096;
 
   const VmaTable* vmas_;
   const sim::CostModel* model_;
-  mutable std::mutex mu_;
-  std::set<std::uint64_t> shadow_;  ///< gva pages with established mappings
-  std::uint64_t fault_count_ = 0;
+  mutable sim::Mutex mu_;
+  /// gva pages with established mappings.
+  std::set<std::uint64_t> shadow_ VPHI_GUARDED_BY(mu_);
+  std::uint64_t fault_count_ VPHI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vphi::hv::kvm

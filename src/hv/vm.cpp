@@ -24,7 +24,7 @@ Vm::~Vm() { shutdown(); }
 void Vm::inject_irq(sim::Nanos backend_now) {
   IrqHandler handler;
   {
-    std::lock_guard lock(irq_mu_);
+    sim::MutexLock lock(irq_mu_);
     handler = irq_handler_;
   }
   irq_count_.inc();
@@ -32,7 +32,7 @@ void Vm::inject_irq(sim::Nanos backend_now) {
 }
 
 void Vm::set_irq_handler(IrqHandler handler) {
-  std::lock_guard lock(irq_mu_);
+  sim::MutexLock lock(irq_mu_);
   irq_handler_ = std::move(handler);
 }
 

@@ -22,6 +22,7 @@
 #include "hv/kvm_mmu.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/thread_safety.hpp"
 #include "virtio/device.hpp"
 #include "virtio/ring.hpp"
 
@@ -65,8 +66,8 @@ class Vm {
 
   /// Backend side: deliver a virtual interrupt; the handler observes it at
   /// now + injection latency.
-  void inject_irq(sim::Nanos backend_now);
-  void set_irq_handler(IrqHandler handler);
+  void inject_irq(sim::Nanos backend_now) VPHI_EXCLUDES(irq_mu_);
+  void set_irq_handler(IrqHandler handler) VPHI_EXCLUDES(irq_mu_);
   std::uint64_t irqs_injected() const noexcept { return irq_count_.value(); }
 
   /// Tear down the transport (unblocks the backend and any guest waiters).
@@ -81,8 +82,8 @@ class Vm {
   virtio::DeviceStatus status_;
   EventLoop qemu_;
   kvm::Mmu mmu_;
-  IrqHandler irq_handler_;
-  std::mutex irq_mu_;
+  IrqHandler irq_handler_ VPHI_GUARDED_BY(irq_mu_);
+  sim::Mutex irq_mu_;
   sim::metrics::Counter irq_count_;
 };
 

@@ -11,7 +11,7 @@ DeviceMemory::DeviceMemory(std::uint64_t backing_bytes)
 sim::Expected<std::uint64_t> DeviceMemory::allocate(std::uint64_t len) {
   if (len == 0) return sim::Status::kInvalidArgument;
   len = (len + kPageSize - 1) / kPageSize * kPageSize;
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
     if (it->second < len) continue;
     const std::uint64_t offset = it->first;
@@ -25,7 +25,7 @@ sim::Expected<std::uint64_t> DeviceMemory::allocate(std::uint64_t len) {
 }
 
 sim::Status DeviceMemory::free(std::uint64_t offset) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = live_blocks_.find(offset);
   if (it == live_blocks_.end()) return sim::Status::kInvalidArgument;
   std::uint64_t len = it->second;
@@ -61,7 +61,7 @@ const void* DeviceMemory::at(std::uint64_t offset) const noexcept {
 }
 
 bool DeviceMemory::covers(std::uint64_t offset, std::uint64_t len) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = live_blocks_.upper_bound(offset);
   if (it == live_blocks_.begin()) return false;
   --it;
@@ -69,14 +69,14 @@ bool DeviceMemory::covers(std::uint64_t offset, std::uint64_t len) const {
 }
 
 std::uint64_t DeviceMemory::used() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [_, len] : live_blocks_) total += len;
   return total;
 }
 
 std::uint64_t DeviceMemory::allocation_count() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return live_blocks_.size();
 }
 

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include "sim/thread_safety.hpp"
 
 #include "sim/status.hpp"
 
@@ -51,9 +51,11 @@ class DeviceMemory {
  private:
   std::uint64_t capacity_;
   std::unique_ptr<std::byte[]> backing_;
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, std::uint64_t> free_blocks_;  // offset -> len
-  std::map<std::uint64_t, std::uint64_t> live_blocks_;  // offset -> len
+  mutable sim::Mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> free_blocks_
+      VPHI_GUARDED_BY(mu_);  // offset -> len
+  std::map<std::uint64_t, std::uint64_t> live_blocks_
+      VPHI_GUARDED_BY(mu_);  // offset -> len
 };
 
 }  // namespace vphi::mic

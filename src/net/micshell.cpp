@@ -53,7 +53,7 @@ void MicShellDaemon::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> sessions;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     sessions.swap(sessions_threads_);
   }
   for (auto& s : sessions) {
@@ -68,7 +68,7 @@ void MicShellDaemon::accept_loop() {
   while (running_.load(std::memory_order_relaxed)) {
     auto acc = provider_->accept(listener_epd_, scif::SCIF_ACCEPT_SYNC);
     if (!acc) break;
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     ++session_count_;
     sessions_threads_.emplace_back(
         [this, epd = acc->epd] { serve_session(epd); });
@@ -107,7 +107,7 @@ void MicShellDaemon::serve_session(int epd) {
       }
       if (failed) break;
       {
-        std::lock_guard lock(mu_);
+        sim::MutexLock lock(mu_);
         files_[*name] = *bytes;
       }
       reply.put_string("ok");
@@ -120,7 +120,7 @@ void MicShellDaemon::serve_session(int epd) {
       if (!binary || !kernel || !nthreads || !args) break;
       bool have_file;
       {
-        std::lock_guard lock(mu_);
+        sim::MutexLock lock(mu_);
         have_file = files_.count(*binary) > 0;
       }
       if (!have_file) {
@@ -166,14 +166,14 @@ void MicShellDaemon::serve_session(int epd) {
 }
 
 std::uint64_t MicShellDaemon::stored_bytes() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [_, bytes] : files_) total += bytes;
   return total;
 }
 
 std::uint64_t MicShellDaemon::sessions() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return session_count_;
 }
 

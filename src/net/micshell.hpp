@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include "sim/thread_safety.hpp"
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,10 +68,11 @@ class MicShellDaemon {
   int listener_epd_ = -1;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  mutable std::mutex mu_;
-  std::vector<std::thread> sessions_threads_;
-  std::map<std::string, std::uint64_t> files_;  ///< name -> bytes
-  std::uint64_t session_count_ = 0;
+  mutable sim::Mutex mu_;
+  std::vector<std::thread> sessions_threads_ VPHI_GUARDED_BY(mu_);
+  /// name -> bytes
+  std::map<std::string, std::uint64_t> files_ VPHI_GUARDED_BY(mu_);
+  std::uint64_t session_count_ VPHI_GUARDED_BY(mu_) = 0;
 };
 
 /// The user's side: ssh/scp against the card's shell daemon.

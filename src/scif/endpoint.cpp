@@ -76,7 +76,7 @@ Endpoint::Endpoint(Node& node) : node_(&node) {}
 Endpoint::~Endpoint() { close(); }
 
 sim::Expected<Port> Endpoint::bind(Port pn) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (state_ != State::kUnbound) return sim::Status::kInvalidArgument;
   auto claimed = node_->claim_port(pn);
   if (!claimed) return claimed.status();
@@ -88,7 +88,7 @@ sim::Expected<Port> Endpoint::bind(Port pn) {
 
 sim::Status Endpoint::listen(int backlog) {
   if (backlog <= 0) return sim::Status::kInvalidArgument;
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (state_ != State::kBound) return sim::Status::kInvalidArgument;
   const auto published = node_->publish_listener(port_, shared_from_this());
   if (!sim::ok(published)) return published;
@@ -99,7 +99,7 @@ sim::Status Endpoint::listen(int backlog) {
 
 sim::Status Endpoint::connect(sim::Actor& actor, PortId dst) {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     if (state_ == State::kConnected) return sim::Status::kAlreadyConnected;
     if (state_ != State::kUnbound && state_ != State::kBound) {
       return sim::Status::kInvalidArgument;
@@ -127,7 +127,7 @@ sim::Status Endpoint::connect(sim::Actor& actor, PortId dst) {
 
   // Enqueue on the listener's backlog.
   {
-    std::lock_guard lock(listener->mu_);
+    sim::MutexLock lock(listener->mu_);
     if (listener->state_ != State::kListening) {
       return sim::Status::kConnectionRefused;
     }
@@ -139,7 +139,7 @@ sim::Status Endpoint::connect(sim::Actor& actor, PortId dst) {
     listener->last_event_ts_ = std::max(listener->last_event_ts_, req_ts);
   }
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     state_ = State::kConnecting;
     connect_result_ = sim::Status::kOk;
   }
@@ -147,8 +147,8 @@ sim::Status Endpoint::connect(sim::Actor& actor, PortId dst) {
   listener->notify_readiness(req_ts);
 
   // Wait for the acceptor.
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return state_ != State::kConnecting; });
+  sim::MutexLock lock(mu_);
+  while (state_ == State::kConnecting) cv_.wait(mu_);
   if (state_ != State::kConnected) {
     return sim::ok(connect_result_) ? sim::Status::kConnectionRefused
                                     : connect_result_;
@@ -163,10 +163,10 @@ sim::Expected<std::shared_ptr<Endpoint>> Endpoint::accept(sim::Actor& actor,
   actor.advance(driver_entry_cost());
   ConnRequest req;
   {
-    std::unique_lock lock(mu_);
+    sim::MutexLock lock(mu_);
     if (state_ != State::kListening) return sim::Status::kNotListening;
     if (backlog_.empty() && !sync) return sim::Status::kWouldBlock;
-    cv_.wait(lock, [&] { return !backlog_.empty() || state_ != State::kListening; });
+    while (backlog_.empty() && state_ == State::kListening) cv_.wait(mu_);
     if (state_ != State::kListening) return sim::Status::kBadDescriptor;
     req = backlog_.front();
     backlog_.erase(backlog_.begin());
@@ -188,7 +188,7 @@ sim::Expected<std::shared_ptr<Endpoint>> Endpoint::accept(sim::Actor& actor,
   }
 
   {
-    std::scoped_lock pair_lock(accepted->mu_, req.initiator->mu_);
+    sim::MutexLock2 pair_lock(accepted->mu_, req.initiator->mu_);
     if (req.initiator->state_ != State::kConnecting) {
       // Initiator gave up (closed) while queued.
       node_->release_port(*accepted_port);
@@ -219,7 +219,7 @@ sim::Status Endpoint::close() {
   std::shared_ptr<Endpoint> peer;
   std::vector<ConnRequest> pending;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     if (state_ == State::kClosed) return sim::Status::kOk;
     if (state_ == State::kListening) {
       node_->retract_listener(port_);
@@ -241,7 +241,7 @@ sim::Status Endpoint::close() {
   // Refuse any queued connectors.
   for (auto& req : pending) {
     {
-      std::lock_guard lock(req.initiator->mu_);
+      sim::MutexLock lock(req.initiator->mu_);
       if (req.initiator->state_ == State::kConnecting) {
         req.initiator->state_ = State::kClosed;
         req.initiator->connect_result_ = sim::Status::kConnectionRefused;
@@ -251,15 +251,22 @@ sim::Status Endpoint::close() {
   }
 
   if (peer != nullptr) {
+    sim::Nanos peer_ts = 0;
     {
-      std::lock_guard lock(peer->mu_);
+      sim::MutexLock lock(peer->mu_);
       peer->peer_.reset();
+      peer_ts = peer->last_event_ts_;
     }
     peer->rx_.reset();
     peer->cv_.notify_all();
-    peer->notify_readiness(peer->last_event_ts_);
+    peer->notify_readiness(peer_ts);
   }
-  notify_readiness(last_event_ts_);
+  sim::Nanos self_ts = 0;
+  {
+    sim::MutexLock lock(mu_);
+    self_ts = last_event_ts_;
+  }
+  notify_readiness(self_ts);
   return sim::Status::kOk;
 }
 
@@ -270,9 +277,9 @@ sim::Nanos Endpoint::driver_entry_cost() const {
   return m.host_syscall_ns + m.scif_host_driver_ns;
 }
 
-sim::Nanos Endpoint::stream_delivery_ts(sim::Actor& actor, std::size_t len) {
+sim::Nanos Endpoint::stream_delivery_ts(sim::Actor& actor, NodeId peer_node,
+                                        std::size_t len) {
   const auto& m = node_->fabric().model();
-  const NodeId peer_node = peer_id_.node;
   pcie::Link* link = node_->fabric().link_between(node_->id(), peer_node);
   if (link == nullptr) {
     // Host-local loopback: a kernel memcpy, no PCIe involved.
@@ -294,19 +301,21 @@ sim::Expected<std::size_t> Endpoint::send(sim::Actor& actor, const void* msg,
                                           std::size_t len, int flags) {
   if (msg == nullptr && len > 0) return sim::Status::kBadAddress;
   std::shared_ptr<Endpoint> peer;
+  NodeId peer_node{};
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     if (state_ != State::kConnected) {
       return state_ == State::kClosed && peer_ == nullptr
                  ? sim::Status::kConnectionReset
                  : sim::Status::kNotConnected;
     }
     peer = peer_;
+    peer_node = peer_id_.node;
   }
   if (peer == nullptr) return sim::Status::kConnectionReset;
 
   actor.advance(driver_entry_cost());
-  const sim::Nanos arrival = stream_delivery_ts(actor, len);
+  const sim::Nanos arrival = stream_delivery_ts(actor, peer_node, len);
 
   const bool blocking = (flags & SCIF_SEND_BLOCK) != 0;
   auto written = peer->rx_.write(msg, len, arrival, blocking);
@@ -320,7 +329,7 @@ sim::Expected<std::size_t> Endpoint::recv(sim::Actor& actor, void* msg,
                                           std::size_t len, int flags) {
   if (msg == nullptr && len > 0) return sim::Status::kBadAddress;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     if (state_ != State::kConnected && state_ != State::kClosed) {
       return sim::Status::kNotConnected;
     }
@@ -347,7 +356,7 @@ sim::Expected<RegOffset> Endpoint::register_mem(sim::Actor& actor, void* addr,
                                                 RegOffset offset, int prot,
                                                 int flags, bool guest_backed) {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     if (state_ != State::kConnected) return sim::Status::kNotConnected;
   }
   const auto& m = node_->fabric().model();
@@ -367,7 +376,15 @@ sim::Status Endpoint::rma_transfer(sim::Actor& actor,
                                    std::size_t len, int flags) {
   const auto& m = node_->fabric().model();
   const bool fragmented = any_fragmented(dst) || any_fragmented(src);
-  pcie::Link* link = node_->fabric().link_between(node_->id(), peer_id_.node);
+  NodeId peer_node{};
+  {
+    // peer_id_ is guarded by mu_; the RMA entry points check connectedness
+    // via connected_peer() but release the lock before resolving windows,
+    // so re-read the peer node here instead of touching peer_id_ unlocked.
+    sim::MutexLock lock(mu_);
+    peer_node = peer_id_.node;
+  }
+  pcie::Link* link = node_->fabric().link_between(node_->id(), peer_node);
 
   sim::Nanos end;
   if ((flags & SCIF_RMA_USECPU) != 0 || link == nullptr) {
@@ -389,7 +406,7 @@ sim::Status Endpoint::rma_transfer(sim::Actor& actor,
 
 sim::Status Endpoint::readfrom(sim::Actor& actor, RegOffset loffset,
                                std::size_t len, RegOffset roffset, int flags) {
-  std::shared_ptr<Endpoint> peer = peer_locked();
+  std::shared_ptr<Endpoint> peer = connected_peer();
   if (peer == nullptr) return sim::Status::kNotConnected;
   if (len == 0) return sim::Status::kOk;
   actor.advance(driver_entry_cost());
@@ -402,7 +419,7 @@ sim::Status Endpoint::readfrom(sim::Actor& actor, RegOffset loffset,
 
 sim::Status Endpoint::writeto(sim::Actor& actor, RegOffset loffset,
                               std::size_t len, RegOffset roffset, int flags) {
-  std::shared_ptr<Endpoint> peer = peer_locked();
+  std::shared_ptr<Endpoint> peer = connected_peer();
   if (peer == nullptr) return sim::Status::kNotConnected;
   if (len == 0) return sim::Status::kOk;
   actor.advance(driver_entry_cost());
@@ -416,7 +433,7 @@ sim::Status Endpoint::writeto(sim::Actor& actor, RegOffset loffset,
 sim::Status Endpoint::vreadfrom(sim::Actor& actor, void* addr, std::size_t len,
                                 RegOffset roffset, int flags,
                                 bool guest_backed) {
-  std::shared_ptr<Endpoint> peer = peer_locked();
+  std::shared_ptr<Endpoint> peer = connected_peer();
   if (peer == nullptr) return sim::Status::kNotConnected;
   if (addr == nullptr) return sim::Status::kBadAddress;
   if (len == 0) return sim::Status::kOk;
@@ -432,7 +449,7 @@ sim::Status Endpoint::vreadfrom(sim::Actor& actor, void* addr, std::size_t len,
 sim::Status Endpoint::vwriteto(sim::Actor& actor, void* addr, std::size_t len,
                                RegOffset roffset, int flags,
                                bool guest_backed) {
-  std::shared_ptr<Endpoint> peer = peer_locked();
+  std::shared_ptr<Endpoint> peer = connected_peer();
   if (peer == nullptr) return sim::Status::kNotConnected;
   if (addr == nullptr) return sim::Status::kBadAddress;
   if (len == 0) return sim::Status::kOk;
@@ -448,7 +465,7 @@ sim::Status Endpoint::vwriteto(sim::Actor& actor, void* addr, std::size_t len,
 sim::Expected<MappedRegion> Endpoint::mmap(sim::Actor& actor,
                                            RegOffset roffset, std::size_t len,
                                            int prot) {
-  std::shared_ptr<Endpoint> peer = peer_locked();
+  std::shared_ptr<Endpoint> peer = connected_peer();
   if (peer == nullptr) return sim::Status::kNotConnected;
   if (len == 0) return sim::Status::kInvalidArgument;
   auto remote = peer->windows_.resolve(roffset, len, prot);
@@ -482,17 +499,17 @@ sim::Status Endpoint::munmap(sim::Actor& actor, MappedRegion& region) {
 // --- fences --------------------------------------------------------------------
 
 void Endpoint::record_rma_completion(sim::Nanos end) {
-  std::lock_guard lock(rma_mu_);
+  sim::MutexLock lock(rma_mu_);
   last_rma_end_ = std::max(last_rma_end_, end);
 }
 
 sim::Nanos Endpoint::outstanding_rma_max() const {
-  std::lock_guard lock(rma_mu_);
+  sim::MutexLock lock(rma_mu_);
   return last_rma_end_;
 }
 
 sim::Expected<int> Endpoint::fence_mark(sim::Actor& actor, int flags) {
-  std::shared_ptr<Endpoint> peer = peer_locked();
+  std::shared_ptr<Endpoint> peer = connected_peer();
   if (peer == nullptr) return sim::Status::kNotConnected;
   actor.advance(node_->fabric().model().host_syscall_ns);
   sim::Nanos horizon = 0;
@@ -502,7 +519,7 @@ sim::Expected<int> Endpoint::fence_mark(sim::Actor& actor, int flags) {
   if ((flags & SCIF_FENCE_INIT_PEER) != 0) {
     horizon = std::max(horizon, peer->outstanding_rma_max());
   }
-  std::lock_guard lock(rma_mu_);
+  sim::MutexLock lock(rma_mu_);
   const int mark = next_mark_++;
   fence_marks_[mark] = horizon;
   return mark;
@@ -511,7 +528,7 @@ sim::Expected<int> Endpoint::fence_mark(sim::Actor& actor, int flags) {
 sim::Status Endpoint::fence_wait(sim::Actor& actor, int mark) {
   sim::Nanos horizon;
   {
-    std::lock_guard lock(rma_mu_);
+    sim::MutexLock lock(rma_mu_);
     auto it = fence_marks_.find(mark);
     if (it == fence_marks_.end()) return sim::Status::kInvalidArgument;
     horizon = it->second;
@@ -525,7 +542,7 @@ sim::Status Endpoint::fence_wait(sim::Actor& actor, int mark) {
 sim::Status Endpoint::fence_signal(sim::Actor& actor, RegOffset loff,
                                    std::uint64_t lval, RegOffset roff,
                                    std::uint64_t rval, int flags) {
-  std::shared_ptr<Endpoint> peer = peer_locked();
+  std::shared_ptr<Endpoint> peer = connected_peer();
   if (peer == nullptr) return sim::Status::kNotConnected;
   actor.advance(node_->fabric().model().host_syscall_ns);
   if ((flags & SCIF_SIGNAL_LOCAL) != 0) {
@@ -548,14 +565,14 @@ sim::Status Endpoint::fence_signal(sim::Actor& actor, RegOffset loff,
 
 void Endpoint::notify_readiness(sim::Nanos ts) {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     last_event_ts_ = std::max(last_event_ts_, ts);
   }
   node_->fabric().poll_hub().notify();
 }
 
 short Endpoint::poll_events(short events) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   short revents = 0;
   switch (state_) {
     case State::kListening:
@@ -591,27 +608,27 @@ short Endpoint::poll_events(short events) const {
 // --- introspection -----------------------------------------------------------------
 
 Endpoint::State Endpoint::state() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return state_;
 }
 
 Port Endpoint::port() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return port_;
 }
 
 PortId Endpoint::local_id() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return PortId{node_->id(), port_};
 }
 
 PortId Endpoint::peer_id() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return peer_id_;
 }
 
-std::shared_ptr<Endpoint> Endpoint::peer_locked() const {
-  std::lock_guard lock(mu_);
+std::shared_ptr<Endpoint> Endpoint::connected_peer() const {
+  sim::MutexLock lock(mu_);
   return state_ == State::kConnected ? peer_ : nullptr;
 }
 

@@ -7,11 +7,9 @@
 // link and the card-side uOS driver attached to each operation.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "scif/stream.hpp"
@@ -19,6 +17,7 @@
 #include "scif/window.hpp"
 #include "sim/actor.hpp"
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace vphi::scif {
 
@@ -147,47 +146,50 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
 
   /// Costs of entering the local SCIF driver (syscall + request handling).
   sim::Nanos driver_entry_cost() const;
-  /// Delivery-time computation for `len` stream bytes leaving now.
-  sim::Nanos stream_delivery_ts(sim::Actor& actor, std::size_t len);
+  /// Delivery-time computation for `len` stream bytes leaving now, bound
+  /// for `peer_node` (captured under mu_ by the caller).
+  sim::Nanos stream_delivery_ts(sim::Actor& actor, NodeId peer_node,
+                                std::size_t len);
   /// Issue one RMA of `len` bytes between resolved span lists.
   sim::Status rma_transfer(sim::Actor& actor,
                            const std::vector<WindowSpan>& dst,
                            const std::vector<WindowSpan>& src,
-                           std::size_t len, int flags);
-  std::shared_ptr<Endpoint> peer_locked() const;
-  void notify_readiness(sim::Nanos ts);
-  void record_rma_completion(sim::Nanos end);
-  sim::Nanos outstanding_rma_max() const;
+                           std::size_t len, int flags) VPHI_EXCLUDES(mu_);
+  /// The connected peer, or nullptr — takes mu_ itself (safe snapshot).
+  std::shared_ptr<Endpoint> connected_peer() const VPHI_EXCLUDES(mu_);
+  void notify_readiness(sim::Nanos ts) VPHI_EXCLUDES(mu_);
+  void record_rma_completion(sim::Nanos end) VPHI_EXCLUDES(rma_mu_);
+  sim::Nanos outstanding_rma_max() const VPHI_EXCLUDES(rma_mu_);
 
   Node* node_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  State state_ = State::kUnbound;
-  Port port_ = 0;
-  bool port_claimed_ = false;
+  mutable sim::Mutex mu_;
+  sim::CondVar cv_;
+  State state_ VPHI_GUARDED_BY(mu_) = State::kUnbound;
+  Port port_ VPHI_GUARDED_BY(mu_) = 0;
+  bool port_claimed_ VPHI_GUARDED_BY(mu_) = false;
 
   // Connected pair.
-  std::shared_ptr<Endpoint> peer_;
-  PortId peer_id_{};
-  sim::Nanos connect_done_ts_ = 0;
-  sim::Status connect_result_ = sim::Status::kOk;
+  std::shared_ptr<Endpoint> peer_ VPHI_GUARDED_BY(mu_);
+  PortId peer_id_ VPHI_GUARDED_BY(mu_){};
+  sim::Nanos connect_done_ts_ VPHI_GUARDED_BY(mu_) = 0;
+  sim::Status connect_result_ VPHI_GUARDED_BY(mu_) = sim::Status::kOk;
 
   // Listener.
-  int backlog_limit_ = 0;
-  std::vector<ConnRequest> backlog_;
+  int backlog_limit_ VPHI_GUARDED_BY(mu_) = 0;
+  std::vector<ConnRequest> backlog_ VPHI_GUARDED_BY(mu_);
 
-  // Data paths.
+  // Data paths (internally synchronized; not guarded by mu_).
   Stream rx_;
   WindowTable windows_;
 
   // Fences.
-  mutable std::mutex rma_mu_;
-  sim::Nanos last_rma_end_ = 0;
-  std::map<int, sim::Nanos> fence_marks_;
-  int next_mark_ = 1;
+  mutable sim::Mutex rma_mu_;
+  sim::Nanos last_rma_end_ VPHI_GUARDED_BY(rma_mu_) = 0;
+  std::map<int, sim::Nanos> fence_marks_ VPHI_GUARDED_BY(rma_mu_);
+  int next_mark_ VPHI_GUARDED_BY(rma_mu_) = 1;
 
   // Readiness bookkeeping.
-  sim::Nanos last_event_ts_ = 0;
+  sim::Nanos last_event_ts_ VPHI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vphi::scif

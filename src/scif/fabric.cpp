@@ -8,12 +8,15 @@
 namespace vphi::scif {
 
 std::uint64_t PollHub::wait_change(std::uint64_t seen, int timeout_ms) {
-  std::unique_lock lock(mu_);
+  sim::MutexLock lock(mu_);
   if (timeout_ms < 0) {
-    cv_.wait(lock, [&] { return version_ != seen; });
+    while (version_ == seen) cv_.wait(mu_);
   } else {
-    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                 [&] { return version_ != seen; });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (version_ == seen &&
+           cv_.wait_until(mu_, deadline) != std::cv_status::timeout) {
+    }
   }
   return version_;
 }
@@ -38,7 +41,7 @@ Node* Fabric::node(NodeId id) noexcept {
 void Fabric::charge_card_occupancy(const std::string& tenant,
                                    sim::Nanos busy_ns) {
   if (busy_ns <= 0) return;
-  std::lock_guard lock(occupancy_mu_);
+  sim::MutexLock lock(occupancy_mu_);
   auto it = card_busy_by_tenant_.find(tenant);
   if (it == card_busy_by_tenant_.end()) {
     it = card_busy_by_tenant_
@@ -50,7 +53,7 @@ void Fabric::charge_card_occupancy(const std::string& tenant,
 }
 
 std::map<std::string, std::uint64_t> Fabric::card_occupancy() const {
-  std::lock_guard lock(occupancy_mu_);
+  sim::MutexLock lock(occupancy_mu_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [tenant, counter] : card_busy_by_tenant_) {
     out[tenant] = counter->value();

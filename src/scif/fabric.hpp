@@ -2,11 +2,9 @@
 // readiness hub used by scif_poll().
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +12,7 @@
 #include "scif/types.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::mic {
@@ -28,27 +27,28 @@ namespace vphi::scif {
 /// Wakes scif_poll() waiters whenever any endpoint's readiness changes.
 class PollHub {
  public:
-  void notify() {
+  void notify() VPHI_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      sim::MutexLock lock(mu_);
       ++version_;
     }
     cv_.notify_all();
   }
 
-  std::uint64_t version() const {
-    std::lock_guard lock(mu_);
+  std::uint64_t version() const VPHI_EXCLUDES(mu_) {
+    sim::MutexLock lock(mu_);
     return version_;
   }
 
   /// Wait (real time, bounded) until version changes from `seen`.
   /// Returns the new version, or `seen` on timeout.
-  std::uint64_t wait_change(std::uint64_t seen, int timeout_ms);
+  std::uint64_t wait_change(std::uint64_t seen, int timeout_ms)
+      VPHI_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::uint64_t version_ = 0;
+  mutable sim::Mutex mu_;
+  sim::CondVar cv_;
+  std::uint64_t version_ VPHI_GUARDED_BY(mu_) = 0;
 };
 
 class Fabric {
@@ -81,18 +81,23 @@ class Fabric {
   /// tenant (a VM, or a native host process) — which is exactly how the
   /// shared card's time divides across the VMs multiplexed onto it.
   /// Registered as "vphi.card.busy_ns" labeled "vm=<tenant>".
-  void charge_card_occupancy(const std::string& tenant, sim::Nanos busy_ns);
+  /// Lock order: occupancy_mu_ -> registry mu_ (first charge for a tenant
+  /// constructs its labeled Counter, which self-registers, while holding
+  /// occupancy_mu_; the registry never calls back out).
+  void charge_card_occupancy(const std::string& tenant, sim::Nanos busy_ns)
+      VPHI_EXCLUDES(occupancy_mu_);
   /// tenant -> accumulated busy ns, for fairness computations.
-  std::map<std::string, std::uint64_t> card_occupancy() const;
+  std::map<std::string, std::uint64_t> card_occupancy() const
+      VPHI_EXCLUDES(occupancy_mu_);
 
  private:
   const sim::CostModel* model_;
   std::vector<std::unique_ptr<Node>> nodes_;
   PollHub poll_hub_;
 
-  mutable std::mutex occupancy_mu_;
+  mutable sim::Mutex occupancy_mu_;
   std::map<std::string, std::unique_ptr<sim::metrics::Counter>>
-      card_busy_by_tenant_;
+      card_busy_by_tenant_ VPHI_GUARDED_BY(occupancy_mu_);
 };
 
 }  // namespace vphi::scif

@@ -16,14 +16,14 @@ HostProvider::~HostProvider() { close_all(); }
 void HostProvider::close_all() {
   std::map<int, std::shared_ptr<Endpoint>> table;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     table.swap(table_);
   }
   for (auto& [_, ep] : table) ep->close();
 }
 
 sim::Expected<std::shared_ptr<Endpoint>> HostProvider::lookup(int epd) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = table_.find(epd);
   if (it == table_.end()) return sim::Status::kBadDescriptor;
   return it->second;
@@ -33,7 +33,7 @@ sim::Expected<int> HostProvider::open() {
   Node* node = fabric_->node(local_node_);
   if (node == nullptr) return sim::Status::kNoDevice;
   auto ep = std::make_shared<Endpoint>(*node);
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const int epd = next_epd_++;
   table_[epd] = std::move(ep);
   return epd;
@@ -42,7 +42,7 @@ sim::Expected<int> HostProvider::open() {
 sim::Status HostProvider::close(int epd) {
   std::shared_ptr<Endpoint> ep;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     auto it = table_.find(epd);
     if (it == table_.end()) return sim::Status::kBadDescriptor;
     ep = std::move(it->second);
@@ -76,7 +76,7 @@ sim::Expected<AcceptResult> HostProvider::accept(int epd, int flags) {
   auto accepted = (*ep)->accept(sim::this_actor(),
                                 (flags & SCIF_ACCEPT_SYNC) != 0, &peer);
   if (!accepted) return accepted.status();
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const int new_epd = next_epd_++;
   table_[new_epd] = std::move(*accepted);
   return AcceptResult{new_epd, peer};
@@ -176,7 +176,7 @@ sim::Expected<Mapping> HostProvider::mmap(int epd, RegOffset roffset,
   if (!ep) return ep.status();
   auto region = (*ep)->mmap(sim::this_actor(), roffset, len, prot);
   if (!region) return region.status();
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const std::uint64_t cookie = next_cookie_++;
   Mapping mapping{region->data(), region->size(), roffset, cookie};
   mappings_[cookie] = std::move(*region);
@@ -187,7 +187,7 @@ sim::Status HostProvider::munmap(Mapping& mapping) {
   if (!mapping.valid()) return sim::Status::kInvalidArgument;
   MappedRegion region;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     auto it = mappings_.find(mapping.cookie);
     if (it == mappings_.end()) return sim::Status::kInvalidArgument;
     region = std::move(it->second);
@@ -199,7 +199,7 @@ sim::Status HostProvider::munmap(Mapping& mapping) {
 
 sim::Status HostProvider::map_read(const Mapping& mapping, std::size_t off,
                                    void* dst, std::size_t n) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = mappings_.find(mapping.cookie);
   if (it == mappings_.end()) return sim::Status::kInvalidArgument;
   return it->second.read(sim::this_actor(), off, dst, n);
@@ -207,7 +207,7 @@ sim::Status HostProvider::map_read(const Mapping& mapping, std::size_t off,
 
 sim::Status HostProvider::map_write(const Mapping& mapping, std::size_t off,
                                     const void* src, std::size_t n) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = mappings_.find(mapping.cookie);
   if (it == mappings_.end()) return sim::Status::kInvalidArgument;
   return it->second.write(sim::this_actor(), off, src, n);
@@ -277,7 +277,7 @@ sim::Expected<mic::SysfsInfo> HostProvider::card_info(std::uint32_t index) {
 }
 
 std::size_t HostProvider::open_descriptors() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return table_.size();
 }
 

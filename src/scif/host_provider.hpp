@@ -6,11 +6,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "scif/endpoint.hpp"
 #include "scif/fabric.hpp"
 #include "scif/provider.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace vphi::scif {
 
@@ -84,21 +84,22 @@ class HostProvider final : public Provider {
 
   Fabric& fabric() noexcept { return *fabric_; }
   NodeId local_node() const noexcept { return local_node_; }
-  std::size_t open_descriptors() const;
+  std::size_t open_descriptors() const VPHI_EXCLUDES(mu_);
 
   /// The endpoint behind a descriptor (tests / vphi backend plumbing).
-  std::shared_ptr<Endpoint> endpoint(int epd) const;
+  std::shared_ptr<Endpoint> endpoint(int epd) const VPHI_EXCLUDES(mu_);
 
  private:
-  sim::Expected<std::shared_ptr<Endpoint>> lookup(int epd) const;
+  sim::Expected<std::shared_ptr<Endpoint>> lookup(int epd) const
+      VPHI_EXCLUDES(mu_);
 
   Fabric* fabric_;
   NodeId local_node_;
-  mutable std::mutex mu_;
-  std::map<int, std::shared_ptr<Endpoint>> table_;
-  std::map<std::uint64_t, MappedRegion> mappings_;
-  int next_epd_ = 3;  // 0..2 feel like stdio; cosmetic
-  std::uint64_t next_cookie_ = 1;
+  mutable sim::Mutex mu_;
+  std::map<int, std::shared_ptr<Endpoint>> table_ VPHI_GUARDED_BY(mu_);
+  std::map<std::uint64_t, MappedRegion> mappings_ VPHI_GUARDED_BY(mu_);
+  int next_epd_ VPHI_GUARDED_BY(mu_) = 3;  // 0..2 feel like stdio; cosmetic
+  std::uint64_t next_cookie_ VPHI_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace vphi::scif

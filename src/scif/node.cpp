@@ -8,7 +8,7 @@ Node::Node(Fabric& fabric, NodeId id, mic::Card* card)
     : fabric_(&fabric), id_(id), card_(card) {}
 
 sim::Expected<Port> Node::claim_port(Port pn) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (pn != 0) {
     if (claimed_.count(pn) != 0) return sim::Status::kAddressInUse;
     claimed_[pn] = true;
@@ -31,25 +31,25 @@ sim::Expected<Port> Node::claim_port(Port pn) {
 }
 
 void Node::release_port(Port pn) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   claimed_.erase(pn);
   listeners_.erase(pn);
 }
 
 sim::Status Node::publish_listener(Port pn, std::shared_ptr<Endpoint> ep) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (claimed_.count(pn) == 0) return sim::Status::kInvalidArgument;
   listeners_[pn] = std::move(ep);
   return sim::Status::kOk;
 }
 
 void Node::retract_listener(Port pn) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   listeners_.erase(pn);
 }
 
 std::shared_ptr<Endpoint> Node::listener_at(Port pn) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = listeners_.find(pn);
   if (it == listeners_.end()) return nullptr;
   return it->second.lock();

@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "scif/types.hpp"
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace vphi::mic {
 class Card;
@@ -34,23 +34,24 @@ class Node {
   bool is_host() const noexcept { return card_ == nullptr; }
 
   /// Claim `pn`, or an ephemeral port when pn == 0.
-  sim::Expected<Port> claim_port(Port pn);
-  void release_port(Port pn);
+  sim::Expected<Port> claim_port(Port pn) VPHI_EXCLUDES(mu_);
+  void release_port(Port pn) VPHI_EXCLUDES(mu_);
 
   /// Register/unregister a listening endpoint on its bound port.
-  sim::Status publish_listener(Port pn, std::shared_ptr<Endpoint> ep);
-  void retract_listener(Port pn);
-  std::shared_ptr<Endpoint> listener_at(Port pn);
+  sim::Status publish_listener(Port pn, std::shared_ptr<Endpoint> ep)
+      VPHI_EXCLUDES(mu_);
+  void retract_listener(Port pn) VPHI_EXCLUDES(mu_);
+  std::shared_ptr<Endpoint> listener_at(Port pn) VPHI_EXCLUDES(mu_);
 
  private:
   Fabric* fabric_;
   NodeId id_;
   mic::Card* card_;
 
-  std::mutex mu_;
-  std::map<Port, bool> claimed_;  // port -> claimed
-  std::map<Port, std::weak_ptr<Endpoint>> listeners_;
-  Port next_ephemeral_ = kEphemeralBase;
+  sim::Mutex mu_;
+  std::map<Port, bool> claimed_ VPHI_GUARDED_BY(mu_);  // port -> claimed
+  std::map<Port, std::weak_ptr<Endpoint>> listeners_ VPHI_GUARDED_BY(mu_);
+  Port next_ephemeral_ VPHI_GUARDED_BY(mu_) = kEphemeralBase;
 };
 
 }  // namespace vphi::scif

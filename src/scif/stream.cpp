@@ -10,13 +10,13 @@ sim::Expected<Stream::WriteResult> Stream::write(const void* src,
                                                  sim::Nanos ts, bool blocking) {
   const auto* bytes = static_cast<const std::byte*>(src);
   std::size_t written = 0;
-  std::unique_lock lock(mu_);
+  sim::MutexLock lock(mu_);
   while (written < len) {
     if (reset_) return sim::Status::kConnectionReset;
     std::size_t space = capacity_ - unread_;
     if (space == 0) {
       if (!blocking) break;
-      writable_.wait(lock, [&] { return unread_ < capacity_ || reset_; });
+      while (unread_ >= capacity_ && !reset_) writable_.wait(mu_);
       continue;
     }
     const std::size_t chunk = std::min(space, len - written);
@@ -37,7 +37,7 @@ sim::Expected<Stream::ReadResult> Stream::read(void* dst, std::size_t len,
                                                bool blocking) {
   auto* out = static_cast<std::byte*>(dst);
   ReadResult result;
-  std::unique_lock lock(mu_);
+  sim::MutexLock lock(mu_);
   while (result.read < len) {
     if (unread_ == 0) {
       if (reset_) {
@@ -46,7 +46,7 @@ sim::Expected<Stream::ReadResult> Stream::read(void* dst, std::size_t len,
         return sim::Status::kConnectionReset;
       }
       if (!blocking) break;
-      readable_.wait(lock, [&] { return unread_ > 0 || reset_; });
+      while (unread_ == 0 && !reset_) readable_.wait(mu_);
       continue;
     }
     Segment& seg = segments_.front();
@@ -64,23 +64,23 @@ sim::Expected<Stream::ReadResult> Stream::read(void* dst, std::size_t len,
 }
 
 std::size_t Stream::available() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return unread_;
 }
 
 std::size_t Stream::window() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return capacity_ - unread_;
 }
 
 sim::Nanos Stream::head_ts() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return segments_.empty() ? 0 : segments_.front().ts;
 }
 
 void Stream::reset() {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     reset_ = true;
   }
   readable_.notify_all();
@@ -88,12 +88,12 @@ void Stream::reset() {
 }
 
 bool Stream::is_reset() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return reset_;
 }
 
 std::uint64_t Stream::total_written() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return total_written_;
 }
 

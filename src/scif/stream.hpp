@@ -6,14 +6,13 @@
 // merges its clock with the newest segment it consumes.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::scif {
@@ -35,26 +34,28 @@ class Stream {
   /// waits for window space and writes everything (or fails on reset);
   /// otherwise writes what fits now and may return 0 written with kWouldBlock.
   sim::Expected<WriteResult> write(const void* src, std::size_t len,
-                                   sim::Nanos ts, bool blocking);
+                                   sim::Nanos ts, bool blocking)
+      VPHI_EXCLUDES(mu_);
 
   /// Consume up to `len` bytes. If `blocking`, waits until *all* `len` bytes
   /// have been read (SCIF_RECV_BLOCK semantics) or the stream resets;
   /// otherwise returns whatever is available (kWouldBlock if none).
-  sim::Expected<ReadResult> read(void* dst, std::size_t len, bool blocking);
+  sim::Expected<ReadResult> read(void* dst, std::size_t len, bool blocking)
+      VPHI_EXCLUDES(mu_);
 
   /// Bytes currently readable.
-  std::size_t available() const;
+  std::size_t available() const VPHI_EXCLUDES(mu_);
   /// Space a non-blocking writer could use right now.
-  std::size_t window() const;
+  std::size_t window() const VPHI_EXCLUDES(mu_);
   /// Visibility time of the oldest unread byte (0 if empty).
-  sim::Nanos head_ts() const;
+  sim::Nanos head_ts() const VPHI_EXCLUDES(mu_);
 
   /// Peer closed: readers drain remaining bytes then get kConnectionReset;
   /// writers fail immediately.
-  void reset();
-  bool is_reset() const;
+  void reset() VPHI_EXCLUDES(mu_);
+  bool is_reset() const VPHI_EXCLUDES(mu_);
 
-  std::uint64_t total_written() const;
+  std::uint64_t total_written() const VPHI_EXCLUDES(mu_);
 
  private:
   struct Segment {
@@ -66,13 +67,13 @@ class Stream {
   };
 
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable readable_;
-  std::condition_variable writable_;
-  std::deque<Segment> segments_;
-  std::size_t unread_ = 0;
-  std::uint64_t total_written_ = 0;
-  bool reset_ = false;
+  mutable sim::Mutex mu_;
+  sim::CondVar readable_;
+  sim::CondVar writable_;
+  std::deque<Segment> segments_ VPHI_GUARDED_BY(mu_);
+  std::size_t unread_ VPHI_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_written_ VPHI_GUARDED_BY(mu_) = 0;
+  bool reset_ VPHI_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vphi::scif

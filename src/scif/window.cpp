@@ -11,7 +11,7 @@ sim::Expected<RegOffset> WindowTable::add(std::byte* base, std::size_t len,
   if (len % kPageSize != 0) return sim::Status::kInvalidArgument;
   if (prot == 0) return sim::Status::kInvalidArgument;
 
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   RegOffset chosen;
   if ((flags & SCIF_MAP_FIXED) != 0) {
     if (offset < 0 || offset % static_cast<RegOffset>(kPageSize) != 0) {
@@ -28,7 +28,7 @@ sim::Expected<RegOffset> WindowTable::add(std::byte* base, std::size_t len,
 }
 
 sim::Status WindowTable::remove(RegOffset offset, std::size_t len) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = windows_.find(offset);
   if (it == windows_.end() || it->second.len != len) {
     return sim::Status::kInvalidArgument;
@@ -41,7 +41,7 @@ sim::Status WindowTable::remove(RegOffset offset, std::size_t len) {
 sim::Expected<std::vector<WindowSpan>> WindowTable::resolve(
     RegOffset offset, std::size_t len, int required_prot) const {
   if (len == 0) return std::vector<WindowSpan>{};
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   std::vector<WindowSpan> spans;
   RegOffset cursor = offset;
   std::size_t remaining = len;
@@ -68,7 +68,7 @@ sim::Expected<std::vector<WindowSpan>> WindowTable::resolve(
 }
 
 sim::Status WindowTable::add_mmap_ref(RegOffset offset) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = windows_.upper_bound(offset);
   if (it == windows_.begin()) return sim::Status::kNoSuchEntry;
   --it;
@@ -80,7 +80,7 @@ sim::Status WindowTable::add_mmap_ref(RegOffset offset) {
 }
 
 sim::Status WindowTable::drop_mmap_ref(RegOffset offset) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = windows_.upper_bound(offset);
   if (it == windows_.begin()) return sim::Status::kNoSuchEntry;
   --it;
@@ -93,12 +93,12 @@ sim::Status WindowTable::drop_mmap_ref(RegOffset offset) {
 }
 
 std::size_t WindowTable::count() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return windows_.size();
 }
 
 std::size_t WindowTable::total_bytes() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   std::size_t total = 0;
   for (const auto& [_, w] : windows_) total += w.len;
   return total;

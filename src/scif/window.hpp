@@ -12,11 +12,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "scif/types.hpp"
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace vphi::scif {
 
@@ -47,12 +47,12 @@ class WindowTable {
   /// multiple of the page size (mirrors the real API's EINVAL rules).
   sim::Expected<RegOffset> add(std::byte* base, std::size_t len,
                                RegOffset offset, int prot, int flags,
-                               bool fragmented);
+                               bool fragmented) VPHI_EXCLUDES(mu_);
 
   /// Remove the window that starts exactly at `offset` with length `len`
   /// (the real driver requires whole-window unregistration). Fails with
   /// kBusy while scif_mmap references are live.
-  sim::Status remove(RegOffset offset, std::size_t len);
+  sim::Status remove(RegOffset offset, std::size_t len) VPHI_EXCLUDES(mu_);
 
   /// Resolve [offset, offset+len) to backing spans; the range may cross
   /// several windows but must be fully covered by registered memory with
@@ -60,22 +60,24 @@ class WindowTable {
   /// mismatch.
   sim::Expected<std::vector<WindowSpan>> resolve(RegOffset offset,
                                                  std::size_t len,
-                                                 int required_prot) const;
+                                                 int required_prot) const
+      VPHI_EXCLUDES(mu_);
 
   /// Adjust the mmap reference count of the window containing `offset`.
-  sim::Status add_mmap_ref(RegOffset offset);
-  sim::Status drop_mmap_ref(RegOffset offset);
+  sim::Status add_mmap_ref(RegOffset offset) VPHI_EXCLUDES(mu_);
+  sim::Status drop_mmap_ref(RegOffset offset) VPHI_EXCLUDES(mu_);
 
-  std::size_t count() const;
+  std::size_t count() const VPHI_EXCLUDES(mu_);
   /// Sum of registered bytes.
-  std::size_t total_bytes() const;
+  std::size_t total_bytes() const VPHI_EXCLUDES(mu_);
 
  private:
-  bool overlaps_locked(RegOffset offset, std::size_t len) const;
+  bool overlaps_locked(RegOffset offset, std::size_t len) const
+      VPHI_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<RegOffset, Window> windows_;
-  RegOffset next_dynamic_ = kDynamicBase;
+  mutable sim::Mutex mu_;
+  std::map<RegOffset, Window> windows_ VPHI_GUARDED_BY(mu_);
+  RegOffset next_dynamic_ VPHI_GUARDED_BY(mu_) = kDynamicBase;
 };
 
 }  // namespace vphi::scif

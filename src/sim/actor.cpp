@@ -22,7 +22,12 @@ void bump_watermark(Nanos t) noexcept {
 
 Actor& this_actor() noexcept {
   if (g_bound != nullptr) return *g_bound;
-  thread_local Actor fallback{"detached"};
+  // A thread with no bound actor joins the simulation *now*, not at
+  // power-on: starting the fallback at 0 would let it lag services that
+  // already advanced the clock (card boot, prior requests), and a deadline
+  // anchored on such a lagging clock cannot see genuine delays smaller
+  // than the lag (the watermark hedge in the frontend swallows them).
+  thread_local Actor fallback{"detached", Actor::AtNow{}};
   return fallback;
 }
 

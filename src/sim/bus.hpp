@@ -9,8 +9,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::sim {
@@ -23,8 +23,8 @@ class BusArbiter {
   };
 
   /// Reserve the bus for `duration` ns, not before `ready`.
-  Grant acquire(Nanos ready, Nanos duration) {
-    std::lock_guard lock(mu_);
+  Grant acquire(Nanos ready, Nanos duration) VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     const Nanos start = free_at_ > ready ? free_at_ : ready;
     const Nanos end = start + duration;
     free_at_ = end;
@@ -34,27 +34,27 @@ class BusArbiter {
   }
 
   /// Earliest time a new transfer could start.
-  Nanos free_at() const {
-    std::lock_guard lock(mu_);
+  Nanos free_at() const VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return free_at_;
   }
 
   /// Total simulated busy time granted so far (utilization accounting).
-  Nanos busy_total() const {
-    std::lock_guard lock(mu_);
+  Nanos busy_total() const VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return busy_total_;
   }
 
-  std::uint64_t grants() const {
-    std::lock_guard lock(mu_);
+  std::uint64_t grants() const VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return grants_;
   }
 
  private:
-  mutable std::mutex mu_;
-  Nanos free_at_ = 0;
-  Nanos busy_total_ = 0;
-  std::uint64_t grants_ = 0;
+  mutable Mutex mu_;
+  Nanos free_at_ VPHI_GUARDED_BY(mu_) = 0;
+  Nanos busy_total_ VPHI_GUARDED_BY(mu_) = 0;
+  std::uint64_t grants_ VPHI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vphi::sim

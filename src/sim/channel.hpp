@@ -6,13 +6,12 @@
 // time, so waiting costs come out of the model, never out of the wall clock.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::sim {
@@ -27,9 +26,9 @@ class Channel {
   };
 
   /// Make `value` available to consumers at simulated time `ts`.
-  void push(T value, Nanos ts) {
+  void push(T value, Nanos ts) VPHI_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       items_.push_back(Item{std::move(value), ts});
     }
     cv_.notify_all();
@@ -37,9 +36,9 @@ class Channel {
 
   /// Block until an item is available or the channel is closed.
   /// Returns nullopt on close-with-empty-queue.
-  std::optional<Item> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<Item> pop() VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.wait(mu_);
     if (items_.empty()) return std::nullopt;
     Item item = std::move(items_.front());
     items_.pop_front();
@@ -47,8 +46,8 @@ class Channel {
   }
 
   /// Non-blocking pop.
-  std::optional<Item> try_pop() {
-    std::lock_guard lock(mu_);
+  std::optional<Item> try_pop() VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     Item item = std::move(items_.front());
     items_.pop_front();
@@ -57,29 +56,29 @@ class Channel {
 
   /// Wake all poppers; subsequent pops drain remaining items then return
   /// nullopt.
-  void close() {
+  void close() VPHI_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard lock(mu_);
+  bool closed() const VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  std::size_t size() const VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Item> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Item> items_ VPHI_GUARDED_BY(mu_);
+  bool closed_ VPHI_GUARDED_BY(mu_) = false;
 };
 
 /// A one-directional event line (doorbell / interrupt wire). Each raise
@@ -88,9 +87,9 @@ class Channel {
 class EventLine {
  public:
   /// Signal the line at simulated time `ts`.
-  void raise(Nanos ts) {
+  void raise(Nanos ts) VPHI_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++pending_;
       last_ts_ = std::max(last_ts_, ts);
     }
@@ -99,41 +98,41 @@ class EventLine {
 
   /// Block until a raise is available (or close); returns the raise
   /// timestamp, or nullopt if closed with nothing pending.
-  std::optional<Nanos> wait() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return pending_ > 0 || closed_; });
+  std::optional<Nanos> wait() VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (pending_ == 0 && !closed_) cv_.wait(mu_);
     if (pending_ == 0) return std::nullopt;
     --pending_;
     return last_ts_;
   }
 
   /// Consume a pending raise if any, without blocking.
-  std::optional<Nanos> try_wait() {
-    std::lock_guard lock(mu_);
+  std::optional<Nanos> try_wait() VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (pending_ == 0) return std::nullopt;
     --pending_;
     return last_ts_;
   }
 
-  void close() {
+  void close() VPHI_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  std::uint64_t pending() const {
-    std::lock_guard lock(mu_);
+  std::uint64_t pending() const VPHI_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return pending_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::uint64_t pending_ = 0;
-  Nanos last_ts_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::uint64_t pending_ VPHI_GUARDED_BY(mu_) = 0;
+  Nanos last_ts_ VPHI_GUARDED_BY(mu_) = 0;
+  bool closed_ VPHI_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vphi::sim

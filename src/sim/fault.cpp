@@ -34,7 +34,7 @@ FaultInjector::FaultInjector() {
 }
 
 void FaultInjector::arm(FaultSite site, const FaultConfig& config) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Site& s = sites_[static_cast<int>(site)];
   if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
   s.config = config;
@@ -62,7 +62,7 @@ void FaultInjector::arm_probability(FaultSite site, double p) {
 }
 
 void FaultInjector::disarm(FaultSite site) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Site& s = sites_[static_cast<int>(site)];
   if (s.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
   s.armed = false;
@@ -70,7 +70,7 @@ void FaultInjector::disarm(FaultSite site) {
 }
 
 void FaultInjector::disarm_all() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (Site& s : sites_) {
     s.armed = false;
     s.config = FaultConfig{};
@@ -79,7 +79,7 @@ void FaultInjector::disarm_all() {
 }
 
 bool FaultInjector::armed(FaultSite site) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].armed;
 }
 
@@ -105,7 +105,7 @@ bool FaultInjector::should_fire(FaultSite site, TraceId focus) noexcept {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
   bool fire;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     Site& s = sites_[static_cast<int>(site)];
     ++s.hits_total;
     hit_counters_[static_cast<int>(site)]->inc();
@@ -130,29 +130,29 @@ bool FaultInjector::should_fire(FaultSite site, TraceId focus) noexcept {
 }
 
 Nanos FaultInjector::delay_ns(FaultSite site) const noexcept {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].config.delay_ns;
 }
 
 std::uint64_t FaultInjector::hits(FaultSite site) const noexcept {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].hits_total;
 }
 
 std::uint64_t FaultInjector::fires(FaultSite site) const noexcept {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].fires;
 }
 
 std::uint64_t FaultInjector::total_fires() const noexcept {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const Site& s : sites_) total += s.fires;
   return total;
 }
 
 void FaultInjector::reset_counters() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (Site& s : sites_) {
     s.hits_since_arm = 0;
     s.hits_total = 0;
@@ -165,7 +165,7 @@ void FaultInjector::reset_counters() {
 }
 
 void FaultInjector::seed(std::uint64_t s) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   rng_state_ = s;
 }
 

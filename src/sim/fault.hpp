@@ -26,9 +26,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "sim/metrics.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -67,33 +67,35 @@ class FaultInjector {
  public:
   FaultInjector();
 
-  void arm(FaultSite site, const FaultConfig& config);
+  void arm(FaultSite site, const FaultConfig& config) VPHI_EXCLUDES(mu_);
   /// Fire exactly on the nth upcoming hit (and, by default, only once).
-  void arm_nth(FaultSite site, std::uint64_t nth, std::uint64_t max_fires = 1);
+  void arm_nth(FaultSite site, std::uint64_t nth, std::uint64_t max_fires = 1)
+      VPHI_EXCLUDES(mu_);
   /// Fire with probability p on every hit.
-  void arm_probability(FaultSite site, double p);
-  void disarm(FaultSite site);
-  void disarm_all();
-  bool armed(FaultSite site) const;
+  void arm_probability(FaultSite site, double p) VPHI_EXCLUDES(mu_);
+  void disarm(FaultSite site) VPHI_EXCLUDES(mu_);
+  void disarm_all() VPHI_EXCLUDES(mu_);
+  bool armed(FaultSite site) const VPHI_EXCLUDES(mu_);
 
   /// Consult at the fault point: records the hit and decides whether the
   /// fault fires now. Cheap (one relaxed load) when nothing is armed.
   /// Every fire triggers a flight-recorder dump; call sites that know the
   /// request riding the faulted path pass its trace id as `focus` so the
   /// dump leads with that request's span chain.
-  bool should_fire(FaultSite site, TraceId focus = 0) noexcept;
+  bool should_fire(FaultSite site, TraceId focus = 0) noexcept
+      VPHI_EXCLUDES(mu_);
 
   /// The configured injection delay for `site` (kKickDelay and friends).
-  Nanos delay_ns(FaultSite site) const noexcept;
+  Nanos delay_ns(FaultSite site) const noexcept VPHI_EXCLUDES(mu_);
 
-  std::uint64_t hits(FaultSite site) const noexcept;
-  std::uint64_t fires(FaultSite site) const noexcept;
-  std::uint64_t total_fires() const noexcept;
+  std::uint64_t hits(FaultSite site) const noexcept VPHI_EXCLUDES(mu_);
+  std::uint64_t fires(FaultSite site) const noexcept VPHI_EXCLUDES(mu_);
+  std::uint64_t total_fires() const noexcept VPHI_EXCLUDES(mu_);
 
   /// Zero all hit/fire counters (armed configs stay).
-  void reset_counters();
+  void reset_counters() VPHI_EXCLUDES(mu_);
   /// Reseed the probabilistic trigger (deterministic replay).
-  void seed(std::uint64_t s);
+  void seed(std::uint64_t s) VPHI_EXCLUDES(mu_);
 
  private:
   struct Site {
@@ -104,11 +106,11 @@ class FaultInjector {
     std::uint64_t fires = 0;
   };
 
-  bool decide_locked(Site& s) noexcept;
+  bool decide_locked(Site& s) noexcept VPHI_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  Site sites_[kNumFaultSites];
-  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+  mutable Mutex mu_;
+  Site sites_[kNumFaultSites] VPHI_GUARDED_BY(mu_);
+  std::uint64_t rng_state_ VPHI_GUARDED_BY(mu_) = 0x9E3779B97F4A7C15ull;
   std::atomic<int> armed_count_{0};
   // Cumulative mirrors of hits_total/fires under registry names
   // ("vphi.fault.<site>.hits/.fires") so a metrics snapshot shows injected

@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 
 #include "sim/actor.hpp"
@@ -26,7 +25,7 @@ LogLevel level_from_env() {
 }
 
 std::atomic<int> g_level{static_cast<int>(level_from_env())};
-std::mutex g_io_mu;
+Mutex g_io_mu;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -55,7 +54,7 @@ void log_line(LogLevel level, std::string_view component, std::string_view msg) 
   // calling actor's simulated clock, so a recorder dump interleaves log
   // lines with span events on one simulated-time axis.
   flight_recorder().record_log(level, component, msg, this_actor().now());
-  std::lock_guard lock(g_io_mu);
+  MutexLock lock(g_io_mu);
   std::fprintf(stderr, "[%s %.*s] %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(msg.size()), msg.data());

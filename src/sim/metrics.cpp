@@ -67,22 +67,22 @@ LatencyHistogram::LatencyHistogram(std::string name, std::string label)
 LatencyHistogram::~LatencyHistogram() { registry().remove(this); }
 
 void LatencyHistogram::record(Nanos v) noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   h_.add(v);
 }
 
 Histogram LatencyHistogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return h_;
 }
 
 void Registry::add(Counter* c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.push_back(c);
 }
 
 void Registry::remove(Counter* c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   erase_ptr(counters_, c);
   retired_counters_[c->name()] += c->value();
   if (!c->label().empty()) {
@@ -91,12 +91,12 @@ void Registry::remove(Counter* c) {
 }
 
 void Registry::add(Gauge* g) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_.push_back(g);
 }
 
 void Registry::remove(Gauge* g) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   erase_ptr(gauges_, g);
   retired_gauges_[g->name()] += g->value();
   if (!g->label().empty()) {
@@ -105,12 +105,12 @@ void Registry::remove(Gauge* g) {
 }
 
 void Registry::add(LatencyHistogram* h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_.push_back(h);
 }
 
 void Registry::remove(LatencyHistogram* h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   erase_ptr(histograms_, h);
   retired_histograms_[h->name()].merge(h->snapshot());
   if (!h->label().empty()) {
@@ -119,7 +119,7 @@ void Registry::remove(LatencyHistogram* h) {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   retired_counters_.clear();
   retired_gauges_.clear();
   retired_histograms_.clear();
@@ -131,7 +131,7 @@ void Registry::reset() {
 }
 
 std::string Registry::snapshot_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
 
   std::map<std::string, std::uint64_t> counters = retired_counters_;
   auto labeled_counters = retired_labeled_counters_;
@@ -225,7 +225,7 @@ std::string Registry::snapshot_json() const {
 }
 
 std::uint64_t Registry::counter_value(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   if (auto it = retired_counters_.find(name); it != retired_counters_.end()) {
     total += it->second;
@@ -238,7 +238,7 @@ std::uint64_t Registry::counter_value(const std::string& name) const {
 
 std::uint64_t Registry::labeled_counter_value(const std::string& name,
                                               const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   if (auto it = retired_labeled_counters_.find(name);
       it != retired_labeled_counters_.end()) {
@@ -254,7 +254,7 @@ std::uint64_t Registry::labeled_counter_value(const std::string& name,
 
 std::map<std::string, std::uint64_t> Registry::counter_by_label(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::uint64_t> out;
   if (auto it = retired_labeled_counters_.find(name);
       it != retired_labeled_counters_.end()) {
@@ -268,7 +268,7 @@ std::map<std::string, std::uint64_t> Registry::counter_by_label(
 
 std::map<std::string, std::int64_t> Registry::gauge_by_label(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::int64_t> out;
   if (auto it = retired_labeled_gauges_.find(name);
       it != retired_labeled_gauges_.end()) {
@@ -282,7 +282,7 @@ std::map<std::string, std::int64_t> Registry::gauge_by_label(
 
 std::map<std::string, Histogram> Registry::histogram_by_label(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, Histogram> out;
   if (auto it = retired_labeled_histograms_.find(name);
       it != retired_labeled_histograms_.end()) {
@@ -297,7 +297,7 @@ std::map<std::string, Histogram> Registry::histogram_by_label(
 }
 
 Histogram Registry::histogram_value(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Histogram out;
   if (auto it = retired_histograms_.find(name);
       it != retired_histograms_.end()) {
@@ -310,7 +310,7 @@ Histogram Registry::histogram_value(const std::string& name) const {
 }
 
 std::vector<std::string> Registry::metric_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const Counter* c : counters_) names.push_back(c->name());
   for (const Gauge* g : gauges_) names.push_back(g->name());
@@ -324,7 +324,7 @@ std::vector<std::string> Registry::metric_names() const {
 }
 
 std::size_t Registry::instrument_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

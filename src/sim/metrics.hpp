@@ -29,11 +29,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/stats.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::sim::metrics {
@@ -102,9 +102,9 @@ class LatencyHistogram {
   LatencyHistogram(const LatencyHistogram&) = delete;
   LatencyHistogram& operator=(const LatencyHistogram&) = delete;
 
-  void record(Nanos v) noexcept;
+  void record(Nanos v) noexcept VPHI_EXCLUDES(mu_);
   /// Copy-out for percentile queries without holding the lock.
-  Histogram snapshot() const;
+  Histogram snapshot() const VPHI_EXCLUDES(mu_);
 
   const std::string& name() const noexcept { return name_; }
   const std::string& label() const noexcept { return label_; }
@@ -112,19 +112,22 @@ class LatencyHistogram {
  private:
   std::string name_;
   std::string label_;
-  mutable std::mutex mu_;
-  Histogram h_;
+  mutable Mutex mu_;
+  Histogram h_ VPHI_GUARDED_BY(mu_);
 };
 
 /// The process-global registry every instrument registers with.
 class Registry {
  public:
-  void add(Counter* c);
-  void remove(Counter* c);
-  void add(Gauge* g);
-  void remove(Gauge* g);
-  void add(LatencyHistogram* h);
-  void remove(LatencyHistogram* h);
+  void add(Counter* c) VPHI_EXCLUDES(mu_);
+  void remove(Counter* c) VPHI_EXCLUDES(mu_);
+  void add(Gauge* g) VPHI_EXCLUDES(mu_);
+  void remove(Gauge* g) VPHI_EXCLUDES(mu_);
+  void add(LatencyHistogram* h) VPHI_EXCLUDES(mu_);
+  // Lock order: registry mu_ -> histogram mu_ (remove and the snapshot
+  // readers call h->snapshot() under the registry lock; nothing under a
+  // histogram lock ever reaches the registry, so the order is acyclic).
+  void remove(LatencyHistogram* h) VPHI_EXCLUDES(mu_);
 
   /// Deterministic JSON snapshot: one object with "counters", "gauges" and
   /// "histograms" maps (aggregates over every instance, labeled or not,
@@ -133,64 +136,67 @@ class Registry {
   /// maps keyed "name{label}" holding the per-tenant breakdown of labeled
   /// instruments. Values reflect the instant of the call. All keys are
   /// JSON-escaped.
-  std::string snapshot_json() const;
+  std::string snapshot_json() const VPHI_EXCLUDES(mu_);
 
   /// Sorted, de-duplicated names of every instrument ever seen (live or
   /// retired).
-  std::vector<std::string> metric_names() const;
+  std::vector<std::string> metric_names() const VPHI_EXCLUDES(mu_);
 
   /// Current total for a counter name: live instruments summed plus the
   /// retired aggregate, labeled instances included. 0 for unknown names.
-  std::uint64_t counter_value(const std::string& name) const;
+  std::uint64_t counter_value(const std::string& name) const
+      VPHI_EXCLUDES(mu_);
 
   /// One labeled slice of a counter name (live + retired). 0 when the
   /// (name, label) pair was never registered.
   std::uint64_t labeled_counter_value(const std::string& name,
-                                      const std::string& label) const;
+                                      const std::string& label) const
+      VPHI_EXCLUDES(mu_);
 
   /// Per-label breakdown of a counter name: label -> total (live +
   /// retired). Only labeled instruments contribute; summing the values
   /// gives the counter_value() aggregate when every instance is labeled.
   std::map<std::string, std::uint64_t> counter_by_label(
-      const std::string& name) const;
+      const std::string& name) const VPHI_EXCLUDES(mu_);
   /// Same for gauges.
   std::map<std::string, std::int64_t> gauge_by_label(
-      const std::string& name) const;
+      const std::string& name) const VPHI_EXCLUDES(mu_);
   /// Same for latency histograms (merged per label).
   std::map<std::string, Histogram> histogram_by_label(
-      const std::string& name) const;
+      const std::string& name) const VPHI_EXCLUDES(mu_);
 
   /// Merged distribution for a histogram name across every instance (live
   /// + retired, labeled or not).
-  Histogram histogram_value(const std::string& name) const;
+  Histogram histogram_value(const std::string& name) const VPHI_EXCLUDES(mu_);
 
   /// Live instruments only.
-  std::size_t instrument_count() const;
+  std::size_t instrument_count() const VPHI_EXCLUDES(mu_);
 
   /// Test/tooling hook: drop the retired aggregates and zero every live
   /// counter and gauge, so two identical runs produce identical snapshots.
   /// Component-local accessors observe the zeroing — call this only between
   /// workloads, never during one.
-  void reset();
+  void reset() VPHI_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Counter*> counters_;
-  std::vector<Gauge*> gauges_;
-  std::vector<LatencyHistogram*> histograms_;
+  mutable Mutex mu_;
+  std::vector<Counter*> counters_ VPHI_GUARDED_BY(mu_);
+  std::vector<Gauge*> gauges_ VPHI_GUARDED_BY(mu_);
+  std::vector<LatencyHistogram*> histograms_ VPHI_GUARDED_BY(mu_);
   // Final values of destroyed instruments, folded in by name so snapshots
   // taken after a Testbed tears down (bench JSON writers, the VPHI_METRICS
   // exit dump) still cover the whole run. Labeled instruments fold into
   // both the aggregate map and the name -> label -> value breakdown.
-  std::map<std::string, std::uint64_t> retired_counters_;
-  std::map<std::string, std::int64_t> retired_gauges_;
-  std::map<std::string, Histogram> retired_histograms_;
+  std::map<std::string, std::uint64_t> retired_counters_
+      VPHI_GUARDED_BY(mu_);
+  std::map<std::string, std::int64_t> retired_gauges_ VPHI_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> retired_histograms_ VPHI_GUARDED_BY(mu_);
   std::map<std::string, std::map<std::string, std::uint64_t>>
-      retired_labeled_counters_;
+      retired_labeled_counters_ VPHI_GUARDED_BY(mu_);
   std::map<std::string, std::map<std::string, std::int64_t>>
-      retired_labeled_gauges_;
+      retired_labeled_gauges_ VPHI_GUARDED_BY(mu_);
   std::map<std::string, std::map<std::string, Histogram>>
-      retired_labeled_histograms_;
+      retired_labeled_histograms_ VPHI_GUARDED_BY(mu_);
 };
 
 Registry& registry();

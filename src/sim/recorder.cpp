@@ -67,7 +67,7 @@ FlightRecorder::FlightRecorder() {
 }
 
 void FlightRecorder::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   next_ = 0;
   count_ = 0;
   overwritten_ = 0;
@@ -95,7 +95,7 @@ void FlightRecorder::record_span(TraceId id, TraceId parent, const char* op,
   e.parent = parent;
   copy_trunc(e.actor, sizeof(e.actor), this_actor().name());
   copy_trunc(e.text, sizeof(e.text), op != nullptr ? op : "");
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   append_locked(e);
 }
 
@@ -109,7 +109,7 @@ void FlightRecorder::record_log(LogLevel level, std::string_view component,
   copy_trunc(e.actor, sizeof(e.actor), this_actor().name());
   copy_trunc(e.component, sizeof(e.component), component);
   copy_trunc(e.text, sizeof(e.text), msg);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   append_locked(e);
 }
 
@@ -235,7 +235,7 @@ FlightDump FlightRecorder::dump(std::string_view reason, TraceId focus) {
   std::vector<Entry> window;
   std::uint64_t dropped = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     window.reserve(count_);
     const std::size_t start = (next_ + kCapacity - count_) % kCapacity;
     for (std::size_t i = 0; i < count_; ++i) {
@@ -263,19 +263,19 @@ FlightDump FlightRecorder::dump(std::string_view reason, TraceId focus) {
   }
 
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     last_ = d;
   }
   return d;
 }
 
 FlightDump FlightRecorder::last_dump() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return last_;
 }
 
 std::size_t FlightRecorder::entry_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 

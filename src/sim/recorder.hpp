@@ -31,13 +31,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/log.hpp"
 #include "sim/metrics.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -76,27 +76,31 @@ class FlightRecorder {
   }
 
   /// Drop every buffered entry (tests; ids/dump counts are untouched).
-  void clear();
+  void clear() VPHI_EXCLUDES(mu_);
 
   /// Feed one span event (called from inside sim::Tracer's funnels).
   void record_span(TraceId id, TraceId parent, const char* op, SpanEvent ev,
-                   Nanos ts);
+                   Nanos ts) VPHI_EXCLUDES(mu_);
   /// Feed one emitted log line (called from sim::log_line).
   void record_log(LogLevel level, std::string_view component,
-                  std::string_view msg, Nanos ts);
+                  std::string_view msg, Nanos ts) VPHI_EXCLUDES(mu_);
 
   /// Trigger: snapshot the window, render the annotated text + Perfetto
   /// JSON, bump vphi.recorder.dumps, emit per the VPHI_FLIGHT policy and
-  /// return the dump. Never advances any actor's clock.
-  FlightDump dump(std::string_view reason, TraceId focus = 0);
+  /// return the dump. Never advances any actor's clock. The window is
+  /// snapshotted under mu_ and rendered after release: render_text reads
+  /// the tracer's lock, and the tracer's funnels feed record_span under it
+  /// — holding both here would order the two locks both ways.
+  FlightDump dump(std::string_view reason, TraceId focus = 0)
+      VPHI_EXCLUDES(mu_);
 
   std::uint64_t dump_count() const noexcept {
     return dumps_.load(std::memory_order_relaxed);
   }
   /// Copy of the most recent dump (empty FlightDump when none happened).
-  FlightDump last_dump() const;
+  FlightDump last_dump() const VPHI_EXCLUDES(mu_);
   /// Entries currently buffered (bounded by kCapacity).
-  std::size_t entry_count() const;
+  std::size_t entry_count() const VPHI_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -112,7 +116,7 @@ class FlightRecorder {
     char text[96] = {};  ///< op name (span) or message (log), truncated
   };
 
-  void append_locked(const Entry& e);
+  void append_locked(const Entry& e) VPHI_REQUIRES(mu_);
   std::string render_text(const std::vector<Entry>& window,
                           std::string_view reason, TraceId focus,
                           std::uint64_t seq, std::uint64_t dropped) const;
@@ -122,12 +126,15 @@ class FlightRecorder {
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> dumps_{0};
 
-  mutable std::mutex mu_;
-  std::vector<Entry> ring_;  ///< preallocated to kCapacity, never resized
-  std::size_t next_ = 0;
-  std::size_t count_ = 0;           ///< valid entries (<= kCapacity)
-  std::uint64_t overwritten_ = 0;   ///< entries lost to wraparound
-  FlightDump last_;
+  mutable Mutex mu_;
+  /// Preallocated to kCapacity, never resized.
+  std::vector<Entry> ring_ VPHI_GUARDED_BY(mu_);
+  std::size_t next_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Valid entries (<= kCapacity).
+  std::size_t count_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Entries lost to wraparound.
+  std::uint64_t overwritten_ VPHI_GUARDED_BY(mu_) = 0;
+  FlightDump last_ VPHI_GUARDED_BY(mu_);
 
   metrics::Counter dump_counter_{"vphi.recorder.dumps"};
   metrics::Counter dropped_counter_{"vphi.recorder.entries_dropped"};

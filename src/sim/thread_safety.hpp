@@ -1,0 +1,133 @@
+// Clang Thread Safety Analysis support for the vPHI stack.
+//
+// Every mutex-guarded structure in the transport and sim core is annotated
+// with the macros below so `clang++ -Wthread-safety` (the `VPHI_ANALYZE`
+// cmake option) proves at compile time that guarded state is only touched
+// with the right lock held, that `*_locked` helpers are only called under
+// their lock, and that documented lock orders (EXCLUDES edges) hold. The
+// macros expand to Clang's capability attributes under Clang and to nothing
+// elsewhere, so gcc builds are byte-identical to the unannotated tree.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md for the full guide):
+//  - every guarded field carries VPHI_GUARDED_BY(mu_) on its declaration;
+//  - private helpers named `*_locked` carry VPHI_REQUIRES(mu_);
+//  - public entry points that take the lock themselves carry
+//    VPHI_EXCLUDES(mu_) when re-entry would self-deadlock;
+//  - condition waits use sim::CondVar (condition_variable_any) waiting
+//    directly on the annotated sim::Mutex, in an explicit
+//    `while (!ready) cv_.wait(mu_);` loop — predicate-lambda waits hide
+//    guarded reads from the analysis inside an unannotated closure.
+//
+// The std::mutex in libstdc++ carries no capability attributes, so the
+// stack standardizes on the annotated wrappers below (the same shape
+// abseil's Mutex and the kernel's lockdep annotations use).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VPHI_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef VPHI_TSA
+#define VPHI_TSA(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define VPHI_CAPABILITY(x) VPHI_TSA(capability(x))
+/// Marks an RAII type that acquires in its ctor and releases in its dtor.
+#define VPHI_SCOPED_CAPABILITY VPHI_TSA(scoped_lockable)
+/// Field may only be read/written with `x` held.
+#define VPHI_GUARDED_BY(x) VPHI_TSA(guarded_by(x))
+/// Pointee may only be dereferenced with `x` held.
+#define VPHI_PT_GUARDED_BY(x) VPHI_TSA(pt_guarded_by(x))
+/// Function requires the listed capabilities held on entry (and exit).
+#define VPHI_REQUIRES(...) VPHI_TSA(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on return).
+#define VPHI_ACQUIRE(...) VPHI_TSA(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define VPHI_RELEASE(...) VPHI_TSA(release_capability(__VA_ARGS__))
+/// Function acquires the capabilities when it returns `b`.
+#define VPHI_TRY_ACQUIRE(b, ...) VPHI_TSA(try_acquire_capability(b, __VA_ARGS__))
+/// Caller must NOT hold the listed capabilities (deadlock / lock-order
+/// guard: an EXCLUDES edge documents "this function takes that lock").
+#define VPHI_EXCLUDES(...) VPHI_TSA(locks_excluded(__VA_ARGS__))
+/// Declares this lock is always acquired after the listed ones.
+#define VPHI_ACQUIRED_AFTER(...) VPHI_TSA(acquired_after(__VA_ARGS__))
+/// Declares this lock is always acquired before the listed ones.
+#define VPHI_ACQUIRED_BEFORE(...) VPHI_TSA(acquired_before(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define VPHI_RETURN_CAPABILITY(x) VPHI_TSA(lock_returned(x))
+/// Escape hatch — the function's locking is intentionally invisible to the
+/// analysis (init/teardown paths, deliberate unguarded fast paths). Every
+/// use must carry a comment saying why.
+#define VPHI_NO_THREAD_SAFETY_ANALYSIS VPHI_TSA(no_thread_safety_analysis)
+
+namespace vphi::sim {
+
+/// std::mutex with capability annotations. Drop-in: satisfies Lockable, so
+/// std::unique_lock / condition_variable_any still accept it — but guarded
+/// code should prefer MutexLock, which the analysis understands.
+class VPHI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VPHI_ACQUIRE() { mu_.lock(); }
+  void unlock() VPHI_RELEASE() { mu_.unlock(); }
+  bool try_lock() VPHI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (std::lock_guard shape, annotated).
+class VPHI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VPHI_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VPHI_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Deadlock-free two-mutex RAII lock (std::scoped_lock shape): acquires
+/// both capabilities via std::lock's ordering algorithm. Used where two
+/// sibling objects of the same class must be locked together (endpoint
+/// pairing) — there is no static order between same-class instances, so
+/// the bodies opt out of analysis while the ACQUIRE/RELEASE contract
+/// stays visible to callers.
+class VPHI_SCOPED_CAPABILITY MutexLock2 {
+ public:
+  MutexLock2(Mutex& a, Mutex& b) VPHI_ACQUIRE(a, b)
+      VPHI_NO_THREAD_SAFETY_ANALYSIS : a_(a), b_(b) {
+    std::lock(a_, b_);
+  }
+  ~MutexLock2() VPHI_RELEASE() VPHI_NO_THREAD_SAFETY_ANALYSIS {
+    a_.unlock();
+    b_.unlock();
+  }
+
+  MutexLock2(const MutexLock2&) = delete;
+  MutexLock2& operator=(const MutexLock2&) = delete;
+
+ private:
+  Mutex& a_;
+  Mutex& b_;
+};
+
+/// Condition variable usable with the annotated Mutex. Waits are written
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.wait(mu_);
+/// The analysis treats the capability as held across the wait (the
+/// standard TSA fiction — the wait re-acquires before returning, so every
+/// guarded access in the loop body really is protected).
+using CondVar = std::condition_variable_any;
+
+}  // namespace vphi::sim

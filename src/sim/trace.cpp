@@ -103,7 +103,7 @@ RequestTrace* Tracer::find_locked(std::vector<RequestTrace>& v, TraceId id) {
 TraceId Tracer::begin_op(const char* name, Nanos ts) {
   if (!enabled()) return 0;
   const TraceId id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ops_.push_back({id, 0, name, {{SpanEvent::kSubmit, ts}}});
   flight_recorder().record_span(id, 0, name, SpanEvent::kSubmit, ts);
   return id;
@@ -111,7 +111,7 @@ TraceId Tracer::begin_op(const char* name, Nanos ts) {
 
 void Tracer::end_op(TraceId id, Nanos ts) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (RequestTrace* op = find_locked(ops_, id)) {
     op->events.push_back({SpanEvent::kComplete, ts});
     flight_recorder().record_span(id, 0, op->op.c_str(), SpanEvent::kComplete,
@@ -122,7 +122,7 @@ void Tracer::end_op(TraceId id, Nanos ts) {
 TraceId Tracer::begin_request(const char* op_name, Nanos ts) {
   if (!enabled()) return 0;
   const TraceId id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   requests_.push_back({id, t_current_op, op_name, {{SpanEvent::kSubmit, ts}}});
   flight_recorder().record_span(id, t_current_op, op_name, SpanEvent::kSubmit,
                                 ts);
@@ -131,7 +131,7 @@ TraceId Tracer::begin_request(const char* op_name, Nanos ts) {
 
 void Tracer::record(TraceId id, SpanEvent ev, Nanos ts) {
   if (id == 0) return;  // the disabled / untraced fast path
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (RequestTrace* req = find_locked(requests_, id)) {
     req->events.push_back({ev, ts});
     flight_recorder().record_span(id, req->parent, req->op.c_str(), ev, ts);
@@ -141,18 +141,18 @@ void Tracer::record(TraceId id, SpanEvent ev, Nanos ts) {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   requests_.clear();
   ops_.clear();
 }
 
 std::size_t Tracer::request_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return requests_.size();
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& r : requests_) n += r.events.size();
   for (const auto& o : ops_) n += o.events.size();
@@ -160,14 +160,14 @@ std::size_t Tracer::event_count() const {
 }
 
 std::vector<RequestTrace> Tracer::requests() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto out = requests_;
   for (auto& r : out) sort_events(r.events);
   return out;
 }
 
 std::vector<RequestTrace> Tracer::ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto out = ops_;
   for (auto& o : out) sort_events(o.events);
   return out;

@@ -36,11 +36,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/stats.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace vphi::sim {
@@ -94,55 +94,59 @@ class Tracer {
 
   /// Open a guest-level op span (scif_send, scif_readfrom, ...). Returns 0
   /// when disabled.
-  TraceId begin_op(const char* name, Nanos ts);
-  void end_op(TraceId id, Nanos ts);
+  TraceId begin_op(const char* name, Nanos ts) VPHI_EXCLUDES(mu_);
+  void end_op(TraceId id, Nanos ts) VPHI_EXCLUDES(mu_);
 
   /// Allocate a request trace and record kSubmit at `ts`. The request links
   /// to the calling thread's current op span (see TraceOpScope). Returns 0
   /// when disabled.
-  TraceId begin_request(const char* op_name, Nanos ts);
+  TraceId begin_request(const char* op_name, Nanos ts) VPHI_EXCLUDES(mu_);
 
   /// Record one span event. No-op (no lock, no allocation) when id == 0.
-  void record(TraceId id, SpanEvent ev, Nanos ts);
+  /// Lock order: tracer mu_ -> recorder mu_ (record() feeds the flight
+  /// recorder under the tracer lock; the recorder never calls back in —
+  /// FlightRecorder::dump renders outside its own lock for that reason).
+  void record(TraceId id, SpanEvent ev, Nanos ts) VPHI_EXCLUDES(mu_);
 
   /// Drop everything recorded so far (ids remain unique process-wide).
-  void clear();
+  void clear() VPHI_EXCLUDES(mu_);
 
-  std::size_t request_count() const;
-  std::size_t event_count() const;
+  std::size_t request_count() const VPHI_EXCLUDES(mu_);
+  std::size_t event_count() const VPHI_EXCLUDES(mu_);
 
   /// Copy-out of all finished and in-flight request traces (op umbrellas
   /// excluded), in allocation order.
-  std::vector<RequestTrace> requests() const;
+  std::vector<RequestTrace> requests() const VPHI_EXCLUDES(mu_);
   /// Op umbrella spans, in allocation order.
-  std::vector<RequestTrace> ops() const;
+  std::vector<RequestTrace> ops() const VPHI_EXCLUDES(mu_);
 
   /// Aggregate consecutive-event deltas across all traced requests, ordered
   /// by pipeline position. Within each request, events are sorted by
   /// (ts, pipeline order) first, so cross-thread append races never produce
   /// negative hops.
-  std::vector<Hop> hop_breakdown() const;
+  std::vector<Hop> hop_breakdown() const VPHI_EXCLUDES(mu_);
 
   /// Chrome trace-event JSON ("traceEvents" array object): one track per
   /// component, complete ("X") slices per hop, instant events per span
   /// point, op umbrellas on the guest track.
-  std::string chrome_trace_json() const;
+  std::string chrome_trace_json() const VPHI_EXCLUDES(mu_);
   /// Write chrome_trace_json() to `path`; returns false on I/O error.
-  bool write_chrome_trace(const std::string& path) const;
+  bool write_chrome_trace(const std::string& path) const VPHI_EXCLUDES(mu_);
 
  private:
   struct OpTls;
   friend class TraceOpScope;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<bool> enabled_{false};
   std::atomic<TraceId> next_id_{1};
-  std::vector<RequestTrace> requests_;
-  std::vector<RequestTrace> ops_;
+  std::vector<RequestTrace> requests_ VPHI_GUARDED_BY(mu_);
+  std::vector<RequestTrace> ops_ VPHI_GUARDED_BY(mu_);
   // id -> index maps rebuilt lazily would cost more than they save at the
   // scale of a simulated workload; linear backward scan is fine because
   // records overwhelmingly hit the most recent requests.
-  RequestTrace* find_locked(std::vector<RequestTrace>& v, TraceId id);
+  RequestTrace* find_locked(std::vector<RequestTrace>& v, TraceId id)
+      VPHI_REQUIRES(mu_);
 };
 
 Tracer& tracer();

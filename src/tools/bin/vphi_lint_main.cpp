@@ -1,0 +1,21 @@
+// vphi-lint entry point: `vphi-lint <repo-root>`. Exit 0 when every repo
+// invariant holds, 1 with one finding per line otherwise (ctest-friendly).
+#include <cstdio>
+#include <string>
+
+#include "tools/vphi_lint.hpp"
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : ".";
+  const auto findings = vphi::tools::lint::run_all(root);
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "vphi-lint [%s] %s: %s\n", f.rule.c_str(),
+                 f.where.c_str(), f.message.c_str());
+  }
+  if (findings.empty()) {
+    std::printf("vphi-lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "vphi-lint: %zu finding(s)\n", findings.size());
+  return 1;
+}

@@ -1,0 +1,350 @@
+#include "tools/vphi_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "sim/fault.hpp"
+#include "sim/trace.hpp"
+
+namespace vphi::tools::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// 1-based line number of byte offset `pos` in `text`.
+std::size_t line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+bool metric_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+         c == '_';
+}
+
+/// Extract `vphi.*` metric-name tokens from one string literal body. A
+/// token ending in '.' is a prefix (the rest of the name is concatenated
+/// at runtime, e.g. "vphi.fe.op." + op + ".errors").
+std::vector<std::string> metric_tokens(std::string_view literal) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = literal.find("vphi.", pos)) != std::string_view::npos) {
+    std::size_t end = pos;
+    while (end < literal.size() && metric_name_char(literal[end])) ++end;
+    out.emplace_back(literal.substr(pos, end - pos));
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view source) {
+  LexedFile out;
+  out.code.reserve(source.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string current;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          current.clear();
+          out.code += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.code += '\'';
+        } else {
+          out.code += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.code += '\n';
+        } else {
+          out.code += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out.code += "  ";
+          ++i;
+        } else {
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          current += c;
+          current += next;
+          out.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.strings.push_back(current);
+          out.code += '"';
+        } else {
+          current += c;
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.code += '\'';
+        } else {
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_metric_catalogue(
+    const Corpus& src, std::string_view observability_md) {
+  std::vector<Finding> findings;
+
+  // Source side: complete names and prefix literals, with one origin each
+  // for error messages.
+  std::set<std::string> src_names, src_prefixes;
+  std::map<std::string, std::string> origin;
+  for (const auto& [path, contents] : src) {
+    for (const auto& literal : lex(contents).strings) {
+      for (const auto& token : metric_tokens(literal)) {
+        if (token == "vphi.") continue;  // bare scheme mention, not a name
+        if (token.back() == '.') {
+          src_prefixes.insert(token);
+        } else {
+          src_names.insert(token);
+        }
+        origin.emplace(token, path);
+      }
+    }
+  }
+
+  // Doc side: every backtick-quoted vphi.* token. `<op>`-style segments
+  // mark parameterized families; a trailing '.' (from `vphi.fe.*`) marks
+  // a prose wildcard, not a catalogue entry.
+  std::set<std::string> doc_names;        // exact catalogued names
+  std::set<std::string> doc_param_names;  // with <...> placeholders
+  static const std::regex doc_token_re("`(vphi\\.[A-Za-z0-9_.<>{}=]+)`?");
+  const std::string docs{observability_md};
+  for (auto it = std::sregex_iterator(docs.begin(), docs.end(), doc_token_re);
+       it != std::sregex_iterator(); ++it) {
+    std::string name = (*it)[1].str();
+    if (auto brace = name.find('{'); brace != std::string::npos) {
+      name.resize(brace);  // drop the {vm=...} label suffix
+    }
+    if (name.empty() || name.back() == '.') continue;
+    if (name.find('<') != std::string::npos) {
+      doc_param_names.insert(name);
+    } else {
+      doc_names.insert(name);
+    }
+  }
+
+  // src -> docs: every registered name must be catalogued.
+  for (const auto& name : src_names) {
+    if (doc_names.count(name) != 0) continue;
+    // A concatenation suffix of a parameterized family would not reach
+    // here (suffixes don't start with "vphi."), so an exact miss is real.
+    findings.push_back({"metric-catalogue", origin[name],
+                        "metric '" + name +
+                            "' is registered in src/ but missing from the "
+                            "docs/OBSERVABILITY.md catalogue"});
+  }
+  for (const auto& prefix : src_prefixes) {
+    const bool covered =
+        std::any_of(doc_param_names.begin(), doc_param_names.end(),
+                    [&](const std::string& d) { return d.rfind(prefix, 0) == 0; });
+    if (!covered) {
+      findings.push_back(
+          {"metric-catalogue", origin[prefix],
+           "metric family prefix '" + prefix +
+               "' has no parameterized docs/OBSERVABILITY.md entry "
+               "('" + prefix + "<...>')"});
+    }
+  }
+
+  // docs -> src: every catalogued name must trace back to a literal.
+  for (const auto& name : doc_names) {
+    if (src_names.count(name) != 0) continue;
+    findings.push_back({"metric-catalogue", "docs/OBSERVABILITY.md",
+                        "catalogued metric '" + name +
+                            "' does not appear in any src/ string literal "
+                            "(stale docs?)"});
+  }
+  for (const auto& name : doc_param_names) {
+    const std::string prefix = name.substr(0, name.find('<'));
+    const bool covered =
+        src_prefixes.count(prefix) != 0 ||
+        std::any_of(src_prefixes.begin(), src_prefixes.end(),
+                    [&](const std::string& p) { return prefix.rfind(p, 0) == 0; });
+    if (!covered) {
+      findings.push_back({"metric-catalogue", "docs/OBSERVABILITY.md",
+                          "parameterized metric '" + name +
+                              "' has no matching prefix literal in src/"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_fault_sites(std::string_view observability_md) {
+  std::vector<Finding> findings;
+  std::set<std::string> seen;
+  for (int i = 0; i < sim::kNumFaultSites; ++i) {
+    const std::string name =
+        sim::fault_site_name(static_cast<sim::FaultSite>(i));
+    if (!seen.insert(name).second) {
+      findings.push_back({"fault-sites", "src/sim/fault.cpp",
+                          "duplicate fault-site name '" + name + "'"});
+    }
+    if (observability_md.find("`" + name + "`") == std::string_view::npos) {
+      findings.push_back({"fault-sites", "docs/OBSERVABILITY.md",
+                          "fault site '" + name +
+                              "' is not documented in the fault-injector "
+                              "section"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_span_events(std::string_view design_md) {
+  std::vector<Finding> findings;
+  std::set<std::string> seen;
+  const int num_events = static_cast<int>(sim::SpanEvent::kNumEvents);
+  for (int i = 0; i < num_events; ++i) {
+    const std::string name =
+        sim::span_event_name(static_cast<sim::SpanEvent>(i));
+    if (!seen.insert(name).second) {
+      findings.push_back({"span-events", "src/sim/trace.cpp",
+                          "duplicate span-event name '" + name + "'"});
+    }
+    if (design_md.find("`" + name + "`") == std::string_view::npos) {
+      findings.push_back({"span-events", "DESIGN.md",
+                          "span event '" + name +
+                              "' is missing from the section-10 hop list"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_ring_allocations(const Corpus& src) {
+  std::vector<Finding> findings;
+  static const std::regex alloc_re(
+      "(^|[^A-Za-z0-9_])(new|malloc|calloc|realloc)\\b");
+  for (const auto& [path, contents] : src) {
+    if (path.find("virtio/ring.") == std::string::npos) continue;
+    const LexedFile lexed = lex(contents);
+    for (auto it = std::sregex_iterator(lexed.code.begin(), lexed.code.end(),
+                                        alloc_re);
+         it != std::sregex_iterator(); ++it) {
+      const auto pos = static_cast<std::size_t>(it->position(2));
+      findings.push_back(
+          {"ring-allocations", path + ":" + std::to_string(line_of(lexed.code, pos)),
+           "'" + (*it)[2].str() +
+               "' in a ring hot path — descriptor traffic must stay "
+               "allocation-free"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_stray_output(const Corpus& src) {
+  std::vector<Finding> findings;
+  // fprintf/snprintf/sprintf do not match: only bare printf( and
+  // std::printf( reach stdout unannounced.
+  static const std::regex out_re(
+      "(std\\s*::\\s*cout)|((^|[^A-Za-z0-9_:])(std\\s*::\\s*)?printf\\s*\\()");
+  for (const auto& [path, contents] : src) {
+    if (path.rfind("src/tools/", 0) == 0) continue;
+    const LexedFile lexed = lex(contents);
+    for (auto it = std::sregex_iterator(lexed.code.begin(), lexed.code.end(),
+                                        out_re);
+         it != std::sregex_iterator(); ++it) {
+      const auto pos = static_cast<std::size_t>(it->position(0));
+      findings.push_back(
+          {"stray-output", path + ":" + std::to_string(line_of(lexed.code, pos)),
+           "direct stdout write outside src/tools — use the logger, "
+           "metrics or flight recorder"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> run_all(const std::string& repo_root) {
+  const fs::path root{repo_root};
+  std::error_code ec;
+  if (!fs::is_directory(root / "src", ec)) {
+    return {{"corpus", repo_root, "no src/ directory here"}};
+  }
+  Corpus src;
+  for (auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    src.emplace_back(
+        fs::relative(entry.path(), root).generic_string(),
+        read_file(entry.path()));
+  }
+  std::sort(src.begin(), src.end());
+
+  const std::string observability = read_file(root / "docs/OBSERVABILITY.md");
+  const std::string design = read_file(root / "DESIGN.md");
+
+  std::vector<Finding> findings;
+  auto absorb = [&findings](std::vector<Finding> f) {
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+  };
+  if (src.empty()) {
+    findings.push_back({"corpus", repo_root, "no sources found under src/"});
+  }
+  if (observability.empty()) {
+    findings.push_back(
+        {"corpus", repo_root, "docs/OBSERVABILITY.md missing or empty"});
+  }
+  if (design.empty()) {
+    findings.push_back({"corpus", repo_root, "DESIGN.md missing or empty"});
+  }
+  if (!findings.empty()) return findings;
+
+  absorb(check_metric_catalogue(src, observability));
+  absorb(check_fault_sites(observability));
+  absorb(check_span_events(design));
+  absorb(check_ring_allocations(src));
+  absorb(check_stray_output(src));
+  return findings;
+}
+
+}  // namespace vphi::tools::lint

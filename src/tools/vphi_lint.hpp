@@ -1,0 +1,72 @@
+// vphi-lint — repo-invariant linter, run as a ctest.
+//
+// The transport's observability contract is only useful while it is true:
+// every metric a component registers must be in the docs/OBSERVABILITY.md
+// catalogue (and vice versa — the catalogue must not advertise metrics
+// nothing emits), fault-site and span-event names must match what DESIGN
+// and the docs promise, the ring's hot paths must stay allocation-free,
+// and nothing outside src/tools may write to stdout (library code talks
+// through the logger/recorder, never the terminal). Each rule is a pure
+// function over file contents so tests can feed synthetic corpora and
+// prove the linter actually fails on violations.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vphi::tools::lint {
+
+/// One rule violation: which rule, where, and what is wrong.
+struct Finding {
+  std::string rule;
+  std::string where;  ///< "path" or "path:line"
+  std::string message;
+};
+
+/// A set of source files: (repo-relative path, contents).
+using Corpus = std::vector<std::pair<std::string, std::string>>;
+
+/// Comment- and string-stripping lexer output for one file.
+struct LexedFile {
+  /// Contents with comments and string/char literal bodies blanked (same
+  /// length and line structure as the input, so offsets map to lines).
+  std::string code;
+  /// Every string literal body, in order of appearance.
+  std::vector<std::string> strings;
+};
+
+/// Strip // and /* */ comments and extract "..." literal bodies
+/// (adjacent-literal concatenation is not folded; escapes are kept raw).
+LexedFile lex(std::string_view source);
+
+/// Rule 1: every `vphi.*` metric name literal in src appears in the
+/// OBSERVABILITY.md catalogue and every catalogued name traces back to a
+/// source literal. Prefix literals ("vphi.fe.op.") pair with
+/// parameterized catalogue entries ("vphi.fe.op.<op>.errors").
+std::vector<Finding> check_metric_catalogue(const Corpus& src,
+                                            std::string_view observability_md);
+
+/// Rule 2: fault-site names (live from sim::fault_site_name) are unique
+/// and each is documented in OBSERVABILITY.md.
+std::vector<Finding> check_fault_sites(std::string_view observability_md);
+
+/// Rule 3: span-event names (live from sim::span_event_name) are unique
+/// and each appears in DESIGN.md's section-10 hop list.
+std::vector<Finding> check_span_events(std::string_view design_md);
+
+/// Rule 4: no `new`/`malloc`/`calloc`/`realloc` in ring hot paths
+/// (src/virtio/ring.*) — steady-state descriptor traffic must not touch
+/// the allocator.
+std::vector<Finding> check_ring_allocations(const Corpus& src);
+
+/// Rule 5: no direct `std::cout` / `printf(` outside src/tools — library
+/// code reports through the logger, metrics and recorder.
+std::vector<Finding> check_stray_output(const Corpus& src);
+
+/// Load src/**/*.{hpp,cpp}, docs/OBSERVABILITY.md and DESIGN.md from
+/// `repo_root` and run every rule. Returns all findings (empty = clean).
+std::vector<Finding> run_all(const std::string& repo_root);
+
+}  // namespace vphi::tools::lint

@@ -71,12 +71,12 @@ void Virtqueue::free_chain_locked(std::uint16_t head) {
 }
 
 void Virtqueue::set_event_idx(bool enabled) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   event_idx_ = enabled;
 }
 
 bool Virtqueue::event_idx_enabled() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return event_idx_;
 }
 
@@ -86,7 +86,7 @@ sim::Expected<std::uint16_t> Virtqueue::add_buf(std::span<const BufferRef> out,
                                                 sim::TraceId trace) {
   const std::size_t total = out.size() + in.size();
   if (total == 0) return sim::Status::kInvalidArgument;
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (total > num_free_) return sim::Status::kNoSpace;
 
   std::uint16_t head = 0;
@@ -124,7 +124,7 @@ sim::Expected<std::uint16_t> Virtqueue::add_buf(std::span<const BufferRef> out,
 }
 
 bool Virtqueue::kick_prepare() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const std::uint16_t old_idx = kick_point_;
   kick_point_ = avail_idx_;
   if (!event_idx_) return true;
@@ -156,7 +156,7 @@ void Virtqueue::kick(sim::Nanos visible_ts) {
 }
 
 std::optional<UsedElem> Virtqueue::get_used() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (used_consumed_ == used_idx_) return std::nullopt;
   UsedElem elem = used_ring_[used_consumed_ % size_];
   ++used_consumed_;
@@ -201,7 +201,7 @@ std::vector<Chain> Virtqueue::pop_avail_batch() {
   for (;;) {
     auto raise_ts = avail_event_.wait();
     if (!raise_ts) return {};  // ring shut down
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     drain_avail_locked(batch);
     // Arm avail_event at the consumption point, atomically with the drain
     // (add_buf also runs under mu_): an entry published after this instant
@@ -231,7 +231,7 @@ std::vector<Chain> Virtqueue::pop_avail_batch() {
 }
 
 std::optional<Chain> Virtqueue::try_pop_avail() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return try_pop_avail_locked();
 }
 
@@ -295,7 +295,7 @@ std::optional<Chain> Virtqueue::try_pop_avail_locked() {
 }
 
 bool Virtqueue::arm_used_event() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (!event_idx_) return false;
   used_event_shadow_ = used_consumed_;
   // Arm-then-recheck: a completion pushed between the caller's last drain
@@ -305,7 +305,7 @@ bool Virtqueue::arm_used_event() {
 }
 
 bool Virtqueue::should_interrupt() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (!event_idx_) {
     used_signal_point_ = used_idx_;
     return true;
@@ -320,7 +320,7 @@ bool Virtqueue::should_interrupt() {
 
 sim::Status Virtqueue::push_used(std::uint16_t head, std::uint32_t written,
                                  sim::Nanos done_ts) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (head >= size_) return sim::Status::kInvalidArgument;
   used_ring_[used_idx_ % size_] = UsedElem{head, written, done_ts};
   ++used_idx_;
@@ -333,22 +333,22 @@ sim::Status Virtqueue::push_used(std::uint16_t head, std::uint32_t written,
 void Virtqueue::shutdown() { avail_event_.close(); }
 
 std::uint16_t Virtqueue::free_descriptors() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return num_free_;
 }
 
 std::uint16_t Virtqueue::avail_idx() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return avail_idx_;
 }
 
 std::uint16_t Virtqueue::used_idx() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return used_idx_;
 }
 
 std::uint16_t Virtqueue::live_chains() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return live_chains_;
 }
 

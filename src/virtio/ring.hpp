@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -22,6 +21,7 @@
 #include "sim/channel.hpp"
 #include "sim/metrics.hpp"
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/trace.hpp"
 
 namespace vphi::virtio {
@@ -97,8 +97,8 @@ class Virtqueue {
   /// Negotiated at probe time (VIRTIO_F_EVENT_IDX): both sides consult the
   /// used_event/avail_event indices before notifying. Off by default so raw
   /// ring users keep the legacy always-notify behavior.
-  void set_event_idx(bool enabled);
-  bool event_idx_enabled() const;
+  void set_event_idx(bool enabled) VPHI_EXCLUDES(mu_);
+  bool event_idx_enabled() const VPHI_EXCLUDES(mu_);
 
   // --- driver (guest) side -------------------------------------------------
 
@@ -112,14 +112,15 @@ class Virtqueue {
   sim::Expected<std::uint16_t> add_buf(std::span<const BufferRef> out,
                                        std::span<const BufferRef> in,
                                        sim::Nanos publish_ts = 0,
-                                       sim::TraceId trace = 0);
+                                       sim::TraceId trace = 0)
+      VPHI_EXCLUDES(mu_);
 
   /// Ask whether a doorbell is needed for the entries published since the
   /// last kick_prepare (virtqueue_kick_prepare). Always true with EVENT_IDX
   /// off. With it on, false (and counted as suppressed) when the device has
   /// not armed avail_event over the published range — i.e. it is already
   /// draining and will see the entries without a vmexit.
-  bool kick_prepare();
+  bool kick_prepare() VPHI_EXCLUDES(mu_);
 
   /// Notify the device that avail entries are pending. `visible_ts` is the
   /// simulated time the kick reaches the device (the caller has already
@@ -127,47 +128,47 @@ class Virtqueue {
   void kick(sim::Nanos visible_ts);
 
   /// Non-blocking poll of the used ring. Frees the chain's descriptors.
-  std::optional<UsedElem> get_used();
+  std::optional<UsedElem> get_used() VPHI_EXCLUDES(mu_);
 
   /// Driver side of EVENT_IDX: arm used_event at the current consumption
   /// point ("interrupt me for the next completion"). Returns true when used
   /// entries are already pending, in which case the caller must re-drain —
   /// the arm raced a push_used whose interrupt was suppressed (the classic
   /// lost-wakeup edge). No-op returning false when EVENT_IDX is off.
-  bool arm_used_event();
+  bool arm_used_event() VPHI_EXCLUDES(mu_);
 
   // --- device (host) side -------------------------------------------------------
 
   /// Block until an avail chain is ready (or shutdown); resolve and return
   /// it. Device-side FIFO order matches avail order.
-  std::optional<Chain> pop_avail();
+  std::optional<Chain> pop_avail() VPHI_EXCLUDES(mu_);
   /// Non-blocking variant.
-  std::optional<Chain> try_pop_avail();
+  std::optional<Chain> try_pop_avail() VPHI_EXCLUDES(mu_);
 
   /// Batch pop: drain every ready avail entry (one wakeup amortized over the
   /// whole burst). Blocks when nothing is ready; with EVENT_IDX on it arms
   /// avail_event and atomically rechecks before sleeping, so a suppressed
   /// doorbell can never strand a published chain. An empty vector means the
   /// ring shut down.
-  std::vector<Chain> pop_avail_batch();
+  std::vector<Chain> pop_avail_batch() VPHI_EXCLUDES(mu_);
 
   /// Device side of EVENT_IDX, called after push_used: should a vIRQ be
   /// injected for the entries pushed since the last interrupt? Always true
   /// (and signal-point advancing) with EVENT_IDX off.
-  bool should_interrupt();
+  bool should_interrupt() VPHI_EXCLUDES(mu_);
 
   /// Complete a chain: make it visible on the used ring at `done_ts` with
   /// `written` bytes produced. The caller raises the VM interrupt itself.
   sim::Status push_used(std::uint16_t head, std::uint32_t written,
-                        sim::Nanos done_ts);
+                        sim::Nanos done_ts) VPHI_EXCLUDES(mu_);
 
   /// Stop the queue: pop_avail returns nullopt to unblock the device.
   void shutdown();
 
   // --- introspection / invariants ---------------------------------------------
-  std::uint16_t free_descriptors() const;
-  std::uint16_t avail_idx() const;
-  std::uint16_t used_idx() const;
+  std::uint16_t free_descriptors() const VPHI_EXCLUDES(mu_);
+  std::uint16_t avail_idx() const VPHI_EXCLUDES(mu_);
+  std::uint16_t used_idx() const VPHI_EXCLUDES(mu_);
   // Per-instance reads of the registered metrics (registry names in
   // docs/OBSERVABILITY.md; a multi-VM snapshot sums across instances).
   std::uint64_t kicks() const { return kick_count_.value(); }
@@ -183,31 +184,41 @@ class Virtqueue {
   /// Chains whose segment list lost its tail to fault injection.
   std::uint64_t truncated_chains() const { return truncated_chains_.value(); }
   /// Chains currently between add_buf and get_used (ring occupancy).
-  std::uint16_t live_chains() const;
+  std::uint16_t live_chains() const VPHI_EXCLUDES(mu_);
 
  private:
-  sim::Expected<std::uint16_t> alloc_desc_locked();
-  void free_chain_locked(std::uint16_t head);
-  std::optional<Chain> try_pop_avail_locked();
+  sim::Expected<std::uint16_t> alloc_desc_locked() VPHI_REQUIRES(mu_);
+  void free_chain_locked(std::uint16_t head) VPHI_REQUIRES(mu_);
+  std::optional<Chain> try_pop_avail_locked() VPHI_REQUIRES(mu_);
   /// Drain every ready avail entry under mu_ into `out`.
-  void drain_avail_locked(std::vector<Chain>& out);
+  void drain_avail_locked(std::vector<Chain>& out) VPHI_REQUIRES(mu_);
 
   std::uint16_t size_;
   MemTranslate translate_;
 
-  mutable std::mutex mu_;
-  std::vector<Desc> table_;
-  std::vector<std::uint16_t> avail_ring_;
-  std::vector<sim::Nanos> avail_publish_ts_;  ///< parallel to avail_ring_
-  std::vector<sim::TraceId> trace_by_head_;   ///< indexed by head descriptor
-  std::vector<UsedElem> used_ring_;
-  std::uint16_t free_head_ = 0;      ///< head of the free-descriptor list
-  std::uint16_t num_free_ = 0;
-  std::uint16_t avail_idx_ = 0;      ///< driver's producer index
-  std::uint16_t avail_consumed_ = 0; ///< device's consumer index
-  std::uint16_t used_idx_ = 0;       ///< device's producer index
-  std::uint16_t used_consumed_ = 0;  ///< driver's consumer index
-  std::uint16_t live_chains_ = 0;    ///< chains between add_buf and get_used
+  // Lock order: ring mu_ -> tracer mu_ (add_buf/push_used record span
+  // events under mu_; the tracer never reaches back into the ring).
+  mutable sim::Mutex mu_;
+  std::vector<Desc> table_ VPHI_GUARDED_BY(mu_);
+  std::vector<std::uint16_t> avail_ring_ VPHI_GUARDED_BY(mu_);
+  /// Parallel to avail_ring_.
+  std::vector<sim::Nanos> avail_publish_ts_ VPHI_GUARDED_BY(mu_);
+  /// Indexed by head descriptor.
+  std::vector<sim::TraceId> trace_by_head_ VPHI_GUARDED_BY(mu_);
+  std::vector<UsedElem> used_ring_ VPHI_GUARDED_BY(mu_);
+  /// Head of the free-descriptor list.
+  std::uint16_t free_head_ VPHI_GUARDED_BY(mu_) = 0;
+  std::uint16_t num_free_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Driver's producer index.
+  std::uint16_t avail_idx_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Device's consumer index.
+  std::uint16_t avail_consumed_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Device's producer index.
+  std::uint16_t used_idx_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Driver's consumer index.
+  std::uint16_t used_consumed_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Chains between add_buf and get_used.
+  std::uint16_t live_chains_ VPHI_GUARDED_BY(mu_) = 0;
   sim::metrics::Counter kick_count_;
   sim::metrics::Counter dropped_kicks_;
   sim::metrics::Counter poisoned_chains_;
@@ -218,11 +229,15 @@ class Virtqueue {
   sim::metrics::LatencyHistogram occupancy_hist_;
 
   // --- EVENT_IDX state (virtio 1.0 sec 2.6.7) -------------------------------
-  bool event_idx_ = false;
-  std::uint16_t avail_event_shadow_ = 0;  ///< device: "kick me past this idx"
-  std::uint16_t kick_point_ = 0;      ///< driver: avail_idx_ at last prepare
-  std::uint16_t used_event_shadow_ = 0;   ///< driver: "irq me past this idx"
-  std::uint16_t used_signal_point_ = 0;   ///< device: used_idx_ at last irq
+  bool event_idx_ VPHI_GUARDED_BY(mu_) = false;
+  /// Device: "kick me past this idx".
+  std::uint16_t avail_event_shadow_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Driver: avail_idx_ at last prepare.
+  std::uint16_t kick_point_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Driver: "irq me past this idx".
+  std::uint16_t used_event_shadow_ VPHI_GUARDED_BY(mu_) = 0;
+  /// Device: used_idx_ at last irq.
+  std::uint16_t used_signal_point_ VPHI_GUARDED_BY(mu_) = 0;
   sim::metrics::Counter suppressed_kicks_;
   sim::metrics::Counter suppressed_irqs_;
 

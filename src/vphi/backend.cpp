@@ -145,7 +145,7 @@ void BackendDevice::service_loop() {
 
       const ExecMode mode = policy_.classify(req.op, req.payload_len);
       {
-        std::lock_guard lock(mu_);
+        sim::MutexLock lock(mu_);
         op_counts_
             .try_emplace(req.op,
                          std::string("vphi.be.op.") + op_name(req.op) +
@@ -187,7 +187,7 @@ void BackendDevice::service_loop() {
 void BackendDevice::dispatch_ordered(const virtio::Chain& chain, int epd) {
   bool start_runner = false;
   {
-    std::lock_guard lock(ep_mu_);
+    sim::MutexLock lock(ep_mu_);
     ep_queues_[epd].push_back(chain);
     if (!ep_running_.contains(epd)) {
       ep_running_.insert(epd);
@@ -203,7 +203,7 @@ void BackendDevice::dispatch_ordered(const virtio::Chain& chain, int epd) {
     for (;;) {
       virtio::Chain next;
       {
-        std::lock_guard lock(ep_mu_);
+        sim::MutexLock lock(ep_mu_);
         auto it = ep_queues_.find(epd);
         if (it == ep_queues_.end() || it->second.empty()) {
           if (it != ep_queues_.end()) ep_queues_.erase(it);
@@ -532,7 +532,7 @@ void BackendDevice::execute(sim::Actor& actor, const RequestHeader& req,
         set_status(resp, mapping.status());
         return;
       }
-      std::lock_guard lock(map_mu_);
+      sim::MutexLock lock(map_mu_);
       const std::uint64_t cookie = next_map_cookie_++;
       resp.ret0 = static_cast<std::int64_t>(cookie);
       // The "stored physical frame number" of the paper's kvm patch: the
@@ -544,7 +544,7 @@ void BackendDevice::execute(sim::Actor& actor, const RequestHeader& req,
       return;
     }
     case Op::kMunmap: {
-      std::lock_guard lock(map_mu_);
+      sim::MutexLock lock(map_mu_);
       auto it = live_mappings_.find(req.arg0);
       if (it == live_mappings_.end()) {
         set_status(resp, sim::Status::kInvalidArgument);
@@ -636,7 +636,7 @@ void BackendDevice::execute(sim::Actor& actor, const RequestHeader& req,
 // --- statistics ------------------------------------------------------------------
 
 std::uint64_t BackendDevice::op_count(Op op) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = op_counts_.find(op);
   return it == op_counts_.end() ? 0 : it->second.value();
 }

@@ -22,7 +22,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 
@@ -30,6 +29,7 @@
 #include "scif/host_provider.hpp"
 #include "sim/metrics.hpp"
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 #include "vphi/protocol.hpp"
 
 namespace vphi::core {
@@ -81,7 +81,7 @@ class BackendDevice {
   std::uint64_t blocking_requests() const {
     return blocking_requests_.value();
   }
-  std::uint64_t op_count(Op op) const;
+  std::uint64_t op_count(Op op) const VPHI_EXCLUDES(mu_);
   /// Chains rejected before decoding: missing/short header segment, no
   /// usable response segment, or poisoned by the ring walk.
   std::uint64_t malformed_chains() const { return malformed_chains_.value(); }
@@ -102,7 +102,8 @@ class BackendDevice {
   /// endpoint, so independent workers would race and could complete chunk
   /// N+1's send before chunk N's — per-endpoint FIFO makes worker mode
   /// order-safe while still overlapping work across endpoints.
-  void dispatch_ordered(const virtio::Chain& chain, int epd);
+  void dispatch_ordered(const virtio::Chain& chain, int epd)
+      VPHI_EXCLUDES(ep_mu_);
   /// The guest is untrusted: check every header field against the actual
   /// chain geometry before dispatch. Returns kOk or the rejection status.
   /// `out_len` is the measured length of the readable payload segment.
@@ -130,8 +131,8 @@ class BackendDevice {
   std::thread service_thread_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex mu_;
-  std::map<Op, sim::metrics::Counter> op_counts_;  ///< guarded by mu_
+  mutable sim::Mutex mu_;
+  std::map<Op, sim::metrics::Counter> op_counts_ VPHI_GUARDED_BY(mu_);
   /// Tenant label ("vm=<name>") on every vphi.be.* instrument: the registry
   /// splits the backend catalogue per VM, aggregates keep their names.
   const std::string label_;
@@ -142,14 +143,15 @@ class BackendDevice {
   sim::metrics::Counter validation_failures_;
 
   // Per-endpoint ordered worker queues (transfer ops in worker mode).
-  std::mutex ep_mu_;
-  std::map<int, std::deque<virtio::Chain>> ep_queues_;
-  std::set<int> ep_running_;
+  sim::Mutex ep_mu_;
+  std::map<int, std::deque<virtio::Chain>> ep_queues_ VPHI_GUARDED_BY(ep_mu_);
+  std::set<int> ep_running_ VPHI_GUARDED_BY(ep_mu_);
 
   // scif_mmap bookkeeping: wire cookie -> live host mapping.
-  std::mutex map_mu_;
-  std::map<std::uint64_t, scif::Mapping> live_mappings_;
-  std::uint64_t next_map_cookie_ = 1;
+  sim::Mutex map_mu_;
+  std::map<std::uint64_t, scif::Mapping> live_mappings_
+      VPHI_GUARDED_BY(map_mu_);
+  std::uint64_t next_map_cookie_ VPHI_GUARDED_BY(map_mu_) = 1;
 };
 
 }  // namespace vphi::core

@@ -122,8 +122,8 @@ FrontendDriver::~FrontendDriver() {
   // A guest thread that Vm::shutdown() just woke may still be walking out
   // of transact()/wait(); it touches pending_ / counters_ / mu_ on the way.
   // Block until every such caller has left driver code.
-  std::unique_lock lock(active_mu_);
-  active_cv_.wait(lock, [&] { return active_calls_ == 0; });
+  sim::MutexLock lock(active_mu_);
+  while (active_calls_ != 0) active_cv_.wait(active_mu_);
 }
 
 sim::Status FrontendDriver::probe() {
@@ -140,7 +140,7 @@ sim::Status FrontendDriver::probe() {
   vm_->vq().set_event_idx(
       (status.accepted_features() & virtio::VIRTIO_F_EVENT_IDX) != 0);
   vm_->set_irq_handler([this](sim::Nanos irq_ts) { on_irq(irq_ts); });
-  probed_ = true;
+  probed_.store(true, std::memory_order_release);
   return sim::Status::kOk;
 }
 
@@ -161,7 +161,7 @@ void FrontendDriver::drain_used(sim::Nanos ts_floor) {
   // the new request, handing it a response that was never written and
   // losing the old request's completion. Lock order is mu_ -> ring lock on
   // both paths.
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   for (;;) {
     while (auto used = vm_->vq().get_used()) {
       const auto head = static_cast<std::uint16_t>(used->id);
@@ -273,7 +273,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::transact(
       return st;
     }
     {
-      std::lock_guard lock(mu_);
+      sim::MutexLock lock(mu_);
       op_counters_locked(op).retries.inc();
     }
     retries_.inc();
@@ -297,7 +297,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait(
   Op op = Op::kOpen;
   bool known = false;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     auto it = pending_.find(token.seq);
     if (it != pending_.end()) {
       op = it->second.op;
@@ -319,7 +319,7 @@ FrontendDriver::wait_all(sim::Actor& actor, std::span<const Token> tokens) {
 }
 
 void FrontendDriver::record_failure(Op op, sim::Status st) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto& c = op_counters_locked(op);
   c.errors.inc();
   if (st == sim::Status::kTimedOut) {
@@ -432,7 +432,7 @@ sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
     // stale before pending_ records the request. get_used() releases the
     // ring lock before drain_used takes mu_, so that drain blocks here
     // until the entry exists (no lock-order cycle).
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     const sim::Nanos publish_ts = actor.now() + m.virtio_enqueue_ns;
     auto posted = vm_->vq().add_buf({out_refs, n_out}, {in_refs, n_in},
                                     publish_ts, trace);
@@ -464,6 +464,13 @@ sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
   }
 
   actor.advance(m.virtio_enqueue_ns);
+  // Sample the watermark *before* ringing the doorbell: the raise publishes
+  // this request's kick timestamp to the device side, and a backend thread
+  // that wakes promptly syncs its actor to it — if that includes an injected
+  // kick delay, reading the watermark afterwards would fold the request's
+  // own delay into its own deadline and the timeout could never fire
+  // (observed as a TSan-scheduling-dependent flake in the fault sweep).
+  const sim::Nanos watermark_anchor = sim::watermark();
   if (vm_->vq().kick_prepare()) {
     const sim::Nanos kick_ts = vm_->kick_cost(actor);
     // Only doorbells actually rung appear in the trace: a suppressed kick
@@ -481,10 +488,11 @@ sim::Expected<FrontendDriver::Token> FrontendDriver::submit_once(
     // endpoints) may legitimately sit ahead of this vCPU's timeline, and a
     // completion they stamp is not "late" just because the caller's clock
     // lags. Only genuine extra delay beyond the newest time in the system
-    // counts against the timeout.
+    // counts against the timeout — which is why the anchor was sampled
+    // before the kick above.
     const sim::Nanos deadline =
-        std::max(actor.now(), sim::watermark()) + config_.request_timeout_ns;
-    std::lock_guard lock(mu_);
+        std::max(actor.now(), watermark_anchor) + config_.request_timeout_ns;
+    sim::MutexLock lock(mu_);
     auto it = pending_.find(seq);
     if (it != pending_.end()) it->second.deadline = deadline;
   }
@@ -503,7 +511,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
   Op op = Op::kOpen;
   std::uint16_t head = 0;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     auto it = pending_.find(token.seq);
     if (it == pending_.end()) return sim::Status::kNoSuchEntry;
     Pending& p = it->second;
@@ -547,7 +555,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
     if (waited == sim::Status::kTimedOut) {
       bool completed = false;
       {
-        std::lock_guard lock(mu_);
+        sim::MutexLock lock(mu_);
         auto it = pending_.find(token.seq);
         if (it != pending_.end() && it->second.completed) {
           // drain_used raced the wall-clock deadline: the chain is done,
@@ -591,7 +599,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
       }
       actor.sync_to(req.done_ts);
     } else if (!sim::ok(waited)) {
-      std::lock_guard lock(mu_);
+      sim::MutexLock lock(mu_);
       auto it = pending_.find(token.seq);
       if (it != pending_.end()) {
         req = std::move(it->second);
@@ -602,7 +610,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
       return waited;
     } else {
       {
-        std::lock_guard lock(mu_);
+        sim::MutexLock lock(mu_);
         auto it = pending_.find(token.seq);
         req = std::move(it->second);
         pending_.erase(it);
@@ -629,7 +637,7 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::wait_once(
     for (;;) {
       drain_used(0);
       {
-        std::lock_guard lock(mu_);
+        sim::MutexLock lock(mu_);
         auto it = pending_.find(token.seq);
         if (it != pending_.end() && it->second.completed) {
           done = true;
@@ -744,25 +752,25 @@ sim::Expected<FrontendDriver::TransactResult> FrontendDriver::finish(
 }
 
 std::uint64_t FrontendDriver::op_errors(Op op) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = counters_.find(op);
   return it == counters_.end() ? 0 : it->second.errors.value();
 }
 
 std::uint64_t FrontendDriver::op_timeouts(Op op) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = counters_.find(op);
   return it == counters_.end() ? 0 : it->second.timeouts.value();
 }
 
 std::uint64_t FrontendDriver::op_retries(Op op) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = counters_.find(op);
   return it == counters_.end() ? 0 : it->second.retries.value();
 }
 
 std::size_t FrontendDriver::pending_requests() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return pending_.size();
 }
 

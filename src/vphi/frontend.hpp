@@ -14,11 +14,10 @@
 //    threshold, sleep above it.
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -26,6 +25,7 @@
 #include "sim/actor.hpp"
 #include "sim/metrics.hpp"
 #include "sim/status.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/trace.hpp"
 #include "vphi/protocol.hpp"
 
@@ -109,7 +109,9 @@ class FrontendDriver {
   /// Virtio probe: status handshake + feature negotiation + ISR
   /// registration. Must succeed before transact() may be used.
   sim::Status probe();
-  bool probed() const noexcept { return probed_; }
+  bool probed() const noexcept {
+    return probed_.load(std::memory_order_acquire);
+  }
 
   struct TransactArgs {
     RequestHeader header;
@@ -127,7 +129,8 @@ class FrontendDriver {
   /// fit one bounce buffer (<= chunk_size()); chunking of larger transfers
   /// is the caller's job (GuestScifProvider does it, mirroring the paper).
   sim::Expected<TransactResult> transact(sim::Actor& actor,
-                                         const TransactArgs& args);
+                                         const TransactArgs& args)
+      VPHI_EXCLUDES(mu_);
 
   /// Handle for a request posted with submit(); redeem with wait().
   struct Token {
@@ -141,7 +144,8 @@ class FrontendDriver {
   /// in flight; GuestScifProvider bounds itself to
   /// FrontendConfig::pipeline_window. The caller must eventually wait() on
   /// every token returned (or the request's state leaks).
-  sim::Expected<Token> submit(sim::Actor& actor, const TransactArgs& args);
+  sim::Expected<Token> submit(sim::Actor& actor, const TransactArgs& args)
+      VPHI_EXCLUDES(mu_);
 
   /// Redeem a token: block (per the configured waiting scheme) until the
   /// request completes or times out, then parse the response and copy any
@@ -149,11 +153,12 @@ class FrontendDriver {
   /// already delivered is reaped for pipeline_reap_ns instead of a full
   /// sleep/wake cycle. Timeout/retry/zombie semantics are identical to
   /// transact()'s, per in-flight request.
-  sim::Expected<TransactResult> wait(sim::Actor& actor, Token token);
+  sim::Expected<TransactResult> wait(sim::Actor& actor, Token token)
+      VPHI_EXCLUDES(mu_);
 
   /// wait() every token in order; returns one result per token.
   std::vector<sim::Expected<TransactResult>> wait_all(
-      sim::Actor& actor, std::span<const Token> tokens);
+      sim::Actor& actor, std::span<const Token> tokens) VPHI_EXCLUDES(mu_);
 
   /// Effective bounce-buffer size (config.max_payload clamped to the
   /// kmalloc cap).
@@ -181,11 +186,11 @@ class FrontendDriver {
   /// ResponseHeader, a status int outside sim::Status, or a payload_len
   /// exceeding the posted response-buffer capacity.
   std::uint64_t protocol_errors() const { return protocol_errors_.value(); }
-  std::uint64_t op_errors(Op op) const;
-  std::uint64_t op_timeouts(Op op) const;
-  std::uint64_t op_retries(Op op) const;
+  std::uint64_t op_errors(Op op) const VPHI_EXCLUDES(mu_);
+  std::uint64_t op_timeouts(Op op) const VPHI_EXCLUDES(mu_);
+  std::uint64_t op_retries(Op op) const VPHI_EXCLUDES(mu_);
   /// In-flight requests (tests assert this returns to zero after faults).
-  std::size_t pending_requests() const;
+  std::size_t pending_requests() const VPHI_EXCLUDES(mu_);
   /// Completions reaped on the pipelined fast path (already delivered by a
   /// coalesced interrupt — no sleep, no per-chunk wakeup cost).
   std::uint64_t fast_reaps() const { return fast_reaps_.value(); }
@@ -224,44 +229,47 @@ class FrontendDriver {
     sim::metrics::Counter retries;   ///< retries issued for this op
   };
   /// counters_ entry for `op`, created on first use. mu_ must be held.
-  OpCounters& op_counters_locked(Op op);
+  OpCounters& op_counters_locked(Op op) VPHI_REQUIRES(mu_);
 
   /// submit() minus the failure accounting.
   sim::Expected<Token> submit_once(sim::Actor& actor,
-                                   const TransactArgs& args);
+                                   const TransactArgs& args)
+      VPHI_EXCLUDES(mu_);
   /// wait() minus the failure accounting.
-  sim::Expected<TransactResult> wait_once(sim::Actor& actor, Token token);
+  sim::Expected<TransactResult> wait_once(sim::Actor& actor, Token token)
+      VPHI_EXCLUDES(mu_);
   /// Response demux + copy-back + bounce-buffer free (the tail every
   /// completion path shares).
   sim::Expected<TransactResult> finish(sim::Actor& actor, Pending& req);
   void free_buffers(Pending& req);
-  void record_failure(Op op, sim::Status st);
+  void record_failure(Op op, sim::Status st) VPHI_EXCLUDES(mu_);
   /// Drop the head -> seq claim if this request stops waiting while its
   /// chain is still in the ring. mu_ must be held.
-  void forget_inflight_locked(std::uint16_t head, std::uint64_t seq);
+  void forget_inflight_locked(std::uint16_t head, std::uint64_t seq)
+      VPHI_REQUIRES(mu_);
   /// Drain the used ring into pending_ and wake interrupt waiters.
-  void on_irq(sim::Nanos irq_ts);
-  void drain_used(sim::Nanos ts_floor);
+  void on_irq(sim::Nanos irq_ts) VPHI_EXCLUDES(mu_);
+  void drain_used(sim::Nanos ts_floor) VPHI_EXCLUDES(mu_);
   bool use_polling(std::size_t payload) const;
   /// Watchdog sweep over pending_: flag (once) every in-flight request
   /// older than the stall budget, bump vphi.watchdog.stalls and dump the
   /// flight recorder focused on it. Pure observer — reads sim::watermark(),
   /// never touches any actor clock. mu_ must be held.
-  void watchdog_scan_locked();
+  void watchdog_scan_locked() VPHI_REQUIRES(mu_);
   /// Stall budget = max(floor, multiplier * p99(request_latency_)), armed
   /// once min_samples completions exist; cached and recomputed every ~32
   /// scans so the sweep stays cheap. mu_ must be held.
-  sim::Nanos watchdog_budget_locked();
+  sim::Nanos watchdog_budget_locked() VPHI_REQUIRES(mu_);
 
   /// RAII active-call marker so the destructor can drain callers that a VM
   /// shutdown woke but that have not yet left driver code.
   struct ActiveCall {
     explicit ActiveCall(FrontendDriver& fe) : fe_(fe) {
-      std::lock_guard lock(fe_.active_mu_);
+      sim::MutexLock lock(fe_.active_mu_);
       ++fe_.active_calls_;
     }
     ~ActiveCall() {
-      std::lock_guard lock(fe_.active_mu_);
+      sim::MutexLock lock(fe_.active_mu_);
       if (--fe_.active_calls_ == 0) fe_.active_cv_.notify_all();
     }
     FrontendDriver& fe_;
@@ -269,35 +277,40 @@ class FrontendDriver {
 
   hv::Vm* vm_;
   Config config_;
-  bool probed_ = false;
+  /// Set once by probe(), read from every submit/wait thread — atomic so a
+  /// probe racing early traffic is a clean rejection, not a data race.
+  std::atomic<bool> probed_{false};
 
   /// Teardown vs. woken-waiter race: Vm::shutdown() wakes every sleeping
   /// waiter, but the waiter still has to walk back out through pending_ /
   /// counters_ on its own thread. The destructor blocks until every
   /// transact/submit/wait caller has left.
-  std::mutex active_mu_;
-  std::condition_variable active_cv_;
-  int active_calls_ = 0;
+  sim::Mutex active_mu_;
+  sim::CondVar active_cv_;
+  int active_calls_ VPHI_GUARDED_BY(active_mu_) = 0;
 
-  mutable std::mutex mu_;
+  // Lock order: mu_ -> ring mu_ (submit_once posts and drain_used pops
+  // under mu_; the ring never calls back into the driver).
+  mutable sim::Mutex mu_;
   /// In-flight requests keyed by a per-request sequence number. The chain
   /// head is NOT a stable key: its descriptors are freed the moment the
   /// used entry is drained, so another thread can reuse the head while the
   /// original waiter is still between wakeup and pickup — a head-keyed map
   /// would let the new request overwrite (and the old waiter steal/erase)
   /// the other's entry, silently dropping a completion.
-  std::map<std::uint64_t, Pending> pending_;
+  std::map<std::uint64_t, Pending> pending_ VPHI_GUARDED_BY(mu_);
   /// Which pending request currently owns each ring head. At most one
   /// chain per head can be inside the ring at a time, so this is a plain
   /// map; entries are erased when the used entry is drained or the owner
   /// gives up.
-  std::map<std::uint16_t, std::uint64_t> inflight_;
-  std::uint64_t next_seq_ = 1;
+  std::map<std::uint16_t, std::uint64_t> inflight_ VPHI_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ VPHI_GUARDED_BY(mu_) = 1;
   /// Bounce buffers of timed-out requests, parked until the chain's used
   /// entry finally surfaces — freeing them earlier would let a late backend
   /// write land in re-kmalloc'd memory. Keyed by chain head.
-  std::map<std::uint16_t, std::vector<std::uint64_t>> zombies_;
-  std::map<Op, OpCounters> counters_;
+  std::map<std::uint16_t, std::vector<std::uint64_t>> zombies_
+      VPHI_GUARDED_BY(mu_);
+  std::map<Op, OpCounters> counters_ VPHI_GUARDED_BY(mu_);
   /// Tenant label ("vm=<name>") stamped on every instrument below, so the
   /// registry splits the vphi.fe.* catalogue per VM while the aggregates
   /// keep their existing names and sums.
@@ -319,11 +332,12 @@ class FrontendDriver {
   /// submit-to-complete latency of every successful request.
   sim::metrics::LatencyHistogram request_latency_;
 
-  // Stall-watchdog state (mu_ guards the cache; instruments are atomic).
+  // Stall-watchdog state (mu_ guards the cache; instruments are atomic;
+  // enabled/multiplier are constant after the constructor).
   bool watchdog_enabled_ = false;
   double watchdog_multiplier_ = 8.0;
-  sim::Nanos watchdog_budget_cache_ = 0;
-  std::uint32_t watchdog_scan_tick_ = 0;
+  sim::Nanos watchdog_budget_cache_ VPHI_GUARDED_BY(mu_) = 0;
+  std::uint32_t watchdog_scan_tick_ VPHI_GUARDED_BY(mu_) = 0;
   sim::metrics::Counter watchdog_stalls_;
   sim::metrics::Gauge watchdog_budget_ns_;
 };

@@ -336,7 +336,7 @@ sim::Expected<scif::RegOffset> GuestScifProvider::register_mem(
     return r ? response_status(r->response) : r.status();
   }
   const auto reg_off = static_cast<scif::RegOffset>(r->response.ret0);
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   registered_[{epd, reg_off}] = {*gpa, len};
   return reg_off;
 }
@@ -352,7 +352,7 @@ sim::Status GuestScifProvider::unregister_mem(int epd, scif::RegOffset offset,
   if (!r) return r.status();
   const auto status = response_status(r->response);
   if (sim::ok(status)) {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     auto it = registered_.find({epd, offset});
     if (it != registered_.end()) {
       frontend_->vm().kernel().unpin_pages(it->second.first,
@@ -489,7 +489,7 @@ sim::Expected<scif::Mapping> GuestScifProvider::mmap(int epd,
   std::uint64_t gva;
   std::uint64_t cookie;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     gva = next_gva_;
     next_gva_ += (len + hv::GuestPhysMem::kPageSize - 1) /
                  hv::GuestPhysMem::kPageSize * hv::GuestPhysMem::kPageSize;
@@ -512,7 +512,7 @@ sim::Expected<scif::Mapping> GuestScifProvider::mmap(int epd,
 sim::Status GuestScifProvider::munmap(scif::Mapping& mapping) {
   GuestMapping gm;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     auto it = mappings_.find(mapping.cookie);
     if (it == mappings_.end()) return sim::Status::kInvalidArgument;
     gm = it->second;
@@ -535,7 +535,7 @@ sim::Status GuestScifProvider::map_read(const scif::Mapping& mapping,
                                         std::size_t n) {
   GuestMapping gm;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     auto it = mappings_.find(mapping.cookie);
     if (it == mappings_.end()) return sim::Status::kInvalidArgument;
     gm = it->second;
@@ -558,7 +558,7 @@ sim::Status GuestScifProvider::map_write(const scif::Mapping& mapping,
                                          std::size_t n) {
   GuestMapping gm;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     auto it = mappings_.find(mapping.cookie);
     if (it == mappings_.end()) return sim::Status::kInvalidArgument;
     gm = it->second;

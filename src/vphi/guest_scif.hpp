@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+#include "sim/thread_safety.hpp"
 
 #include "scif/provider.hpp"
 #include "vphi/frontend.hpp"
@@ -105,19 +105,21 @@ class GuestScifProvider final : public scif::Provider {
 
   FrontendDriver* frontend_;
 
-  std::mutex mu_;
+  sim::Mutex mu_;
   /// registered windows: (epd, offset) -> {gpa, len} for unregister unpin.
   std::map<std::pair<int, scif::RegOffset>, std::pair<std::uint64_t, std::size_t>>
-      registered_;
+      registered_ VPHI_GUARDED_BY(mu_);
   /// live mmaps: guest gva -> {backend cookie, len}.
   struct GuestMapping {
     std::uint64_t backend_cookie = 0;
     std::uint64_t gva = 0;
     std::size_t len = 0;
   };
-  std::map<std::uint64_t, GuestMapping> mappings_;  // keyed by cookie we mint
-  std::uint64_t next_cookie_ = 1;
-  std::uint64_t next_gva_ = 0x7f00'0000'0000ull;  ///< mmap address space
+  /// Keyed by the cookie we mint.
+  std::map<std::uint64_t, GuestMapping> mappings_ VPHI_GUARDED_BY(mu_);
+  std::uint64_t next_cookie_ VPHI_GUARDED_BY(mu_) = 1;
+  /// mmap address space.
+  std::uint64_t next_gva_ VPHI_GUARDED_BY(mu_) = 0x7f00'0000'0000ull;
 };
 
 }  // namespace vphi::core

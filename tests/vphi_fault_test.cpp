@@ -15,6 +15,7 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -54,10 +55,21 @@ class FaultSweepTest : public ::testing::TestWithParam<FaultParam> {
                                       : BackendPolicy::all_blocking();
     cfg.start_coi_daemon = false;
     bed_ = std::make_unique<Testbed>(cfg);
+    // Bind a caller actor anchored at the testbed's epoch (after the card's
+    // 4 s simulated boot). A caller left at 0 — e.g. this thread's detached
+    // fallback on a fresh process — lags the watermark by the whole boot
+    // time, and the frontend's watermark-anchored deadline then swallows
+    // injected delays smaller than that lag: DelayedKickMissesDeadline
+    // failed when run standalone but passed inside the full suite, where
+    // earlier tests had warmed the fallback clock up to the watermark.
+    actor_.emplace("fault-guest", sim::Actor::AtNow{});
+    scope_.emplace(*actor_);
   }
 
   void TearDown() override {
     sim::fault_injector().disarm_all();
+    scope_.reset();
+    actor_.reset();
     bed_.reset();
   }
 
@@ -115,6 +127,8 @@ class FaultSweepTest : public ::testing::TestWithParam<FaultParam> {
   }
 
   std::unique_ptr<Testbed> bed_;
+  std::optional<sim::Actor> actor_;
+  std::optional<sim::ActorScope> scope_;
 };
 
 TEST_P(FaultSweepTest, KmallocEnomemSurfacesCleanly) {
